@@ -1,0 +1,66 @@
+"""Ablation: scalar versus vectorized PTIME range algorithms.
+
+The paper's future work names "optimizing some of our algorithms,
+including the by-tuple/range semantics of COUNT and SUM"; the numpy fast
+path is this library's take.  The benchmark times both implementations on
+the same 50k x 10 workload; expect two to three orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.contexts import make_synthetic_context
+from repro.bench.algorithms import get_algorithm
+
+RANGE_ALGORITHMS = (
+    "ByTupleRangeCOUNT",
+    "ByTupleRangeSUM",
+    "ByTupleRangeAVG",
+    "ByTupleRangeMAX",
+    "ByTupleRangeMIN",
+)
+
+
+@pytest.fixture(scope="module")
+def scalar_context():
+    context = make_synthetic_context(50000, 20, 10)
+    yield context
+    context.close()
+
+
+@pytest.fixture(scope="module")
+def vector_context():
+    context = make_synthetic_context(
+        50000, 20, 10, use_vectorized=True, prebuild_columnar=True
+    )
+    yield context
+    context.close()
+
+
+@pytest.mark.parametrize("name", RANGE_ALGORITHMS)
+def bench_scalar(benchmark, scalar_context, name):
+    answer = benchmark.pedantic(
+        get_algorithm(name), args=(scalar_context,), rounds=2, iterations=1
+    )
+    assert answer is not None
+
+
+@pytest.mark.parametrize("name", RANGE_ALGORITHMS)
+def bench_vectorized(benchmark, vector_context, name):
+    answer = benchmark(get_algorithm(name), vector_context)
+    assert answer is not None
+
+
+def bench_answers_agree(scalar_context, vector_context):
+    for name in RANGE_ALGORITHMS:
+        scalar = get_algorithm(name)(scalar_context)
+        vector = get_algorithm(name)(vector_context)
+        assert scalar.low == pytest.approx(vector.low)
+        assert scalar.high == pytest.approx(vector.high)
+
+
+if __name__ == "__main__":
+    from repro.bench.experiments import ablation_vectorized
+
+    raise SystemExit(0 if ablation_vectorized() else 1)

@@ -1,0 +1,74 @@
+"""End-to-end pipeline: automatic schema matching -> p-mapping -> answers.
+
+The paper assumes probabilistic mappings "given through an existing
+algorithm"; this example runs that upstream step too.  A schema matcher
+scores attribute pairs from name and instance evidence, ranks the top-K
+one-to-one mappings with Murty's algorithm, softmaxes scores into
+probabilities — and the resulting p-mapping feeds straight into the
+aggregate engine.
+
+Run with::
+
+    python examples/schema_matching_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import AggregationEngine, MatcherConfig, SchemaMatcher
+from repro.data import realestate
+from repro.schema.correspondence import AttributeCorrespondence
+
+
+def main() -> None:
+    source = realestate.paper_instance()
+    target = realestate.T1_RELATION
+
+    # The integrator already trusts three correspondences; the matcher must
+    # resolve `date` (and decide what to do with `comments`).
+    known = [
+        AttributeCorrespondence("ID", "propertyID"),
+        AttributeCorrespondence("price", "listPrice"),
+        AttributeCorrespondence("agentPhone", "phone"),
+    ]
+    matcher = SchemaMatcher(
+        source,
+        target,
+        known=known,
+        config=MatcherConfig(top_k=3, temperature=0.05),
+    )
+
+    targets, sources, matrix = matcher.similarity_matrix()
+    print("Similarity matrix (free attributes only):")
+    header = " ".join(f"{s:>12}" for s in sources)
+    print(f"{'':>10} {header}")
+    for target_name, row in zip(targets, matrix):
+        cells = " ".join(f"{value:>12.3f}" for value in row)
+        print(f"{target_name:>10} {cells}")
+    print()
+
+    pmapping = matcher.pmapping()
+    print("Discovered probabilistic mapping:")
+    for mapping, probability in pmapping:
+        date_source = (
+            mapping.source_for("date") if mapping.maps_target("date") else "—"
+        )
+        print(
+            f"  {mapping.describe():>7}: P={probability:.4f}  "
+            f"date <- {date_source}"
+        )
+    print()
+    print("(The paper assigns m11=0.6 / m12=0.4 by hand; name+instance")
+    print(" evidence recovers nearly the same split automatically.)")
+    print()
+
+    engine = AggregationEngine([source], pmapping, allow_exponential=True)
+    query = realestate.Q1
+    print("Answering", query)
+    for cell in (("by-table", "distribution"), ("by-tuple", "distribution"),
+                 ("by-tuple", "range"), ("by-tuple", "expected-value")):
+        print(f"  {cell[0]:>9} / {cell[1]:<15}",
+              engine.answer(query, *cell))
+
+
+if __name__ == "__main__":
+    main()

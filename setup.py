@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments without the ``wheel`` package
+(legacy develop installs do not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

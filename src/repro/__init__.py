@@ -1,0 +1,92 @@
+"""repro — aggregate query answering under uncertain schema mappings.
+
+A full reproduction of Gal, Martinez, Simari & Subrahmanian, *Aggregate
+Query Answering under Uncertain Schema Mappings* (ICDE 2009): the six
+query-answering semantics (by-table / by-tuple x range / distribution /
+expected value), the PTIME algorithms of Section IV, the naive exponential
+baseline, sampling estimators, a SQL subset with mapping-driven
+reformulation, in-memory and SQLite execution substrates, workload
+generators (including a second-price eBay auction simulator), and an
+automatic top-K schema matcher that produces the probabilistic mappings the
+paper assumes.
+
+Quickstart::
+
+    from repro import AggregationEngine
+    from repro.data import realestate
+
+    engine = AggregationEngine(
+        [realestate.paper_instance()], realestate.paper_pmapping()
+    )
+    engine.answer(realestate.Q1, "by-tuple", "range")
+    # RangeAnswer([1, 3])
+"""
+
+from repro.core.answers import (
+    AggregateAnswer,
+    DistributionAnswer,
+    ExpectedValueAnswer,
+    GroupedAnswer,
+    RangeAnswer,
+)
+from repro.core.engine import AggregationEngine
+from repro.core.planner import Planner, complexity_matrix
+from repro.core.semantics import AggregateOp, AggregateSemantics, MappingSemantics
+from repro.exceptions import (
+    EvaluationError,
+    IntractableError,
+    MappingError,
+    ReformulationError,
+    ReproError,
+    SchemaError,
+    SQLSyntaxError,
+    StorageError,
+    UnsupportedQueryError,
+)
+from repro.prob.distribution import DiscreteDistribution
+from repro.schema.correspondence import AttributeCorrespondence
+from repro.schema.mapping import PMapping, RelationMapping, SchemaPMapping
+from repro.schema.matcher import MatcherConfig, SchemaMatcher
+from repro.schema.model import Attribute, AttributeType, Relation, Schema
+from repro.sql.parser import parse_query
+from repro.storage.sqlite_backend import SQLiteBackend
+from repro.storage.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateAnswer",
+    "AggregateOp",
+    "AggregateSemantics",
+    "AggregationEngine",
+    "Attribute",
+    "AttributeCorrespondence",
+    "AttributeType",
+    "DiscreteDistribution",
+    "DistributionAnswer",
+    "EvaluationError",
+    "ExpectedValueAnswer",
+    "GroupedAnswer",
+    "IntractableError",
+    "MappingError",
+    "MatcherConfig",
+    "MappingSemantics",
+    "PMapping",
+    "Planner",
+    "RangeAnswer",
+    "ReformulationError",
+    "Relation",
+    "RelationMapping",
+    "ReproError",
+    "SQLiteBackend",
+    "SQLSyntaxError",
+    "Schema",
+    "SchemaError",
+    "SchemaMatcher",
+    "SchemaPMapping",
+    "StorageError",
+    "Table",
+    "UnsupportedQueryError",
+    "complexity_matrix",
+    "parse_query",
+]

@@ -1,0 +1,27 @@
+"""Benchmark harness reproducing the paper's Section V experiments.
+
+* :mod:`repro.bench.algorithms` — a registry binding the paper's algorithm
+  names (ByTupleRangeCOUNT, ByTuplePDMAX, ...) to runnable closures over a
+  benchmark context;
+* :mod:`repro.bench.runner` — timed parameter sweeps with per-algorithm
+  timeouts (an algorithm that blows its budget is skipped at larger sizes,
+  like the paper's "more than 10 days for 4 auctions" runs);
+* :mod:`repro.bench.reporting` — fixed-width series tables matching the
+  figures' axes;
+* :mod:`repro.bench.experiments` — one driver per paper figure
+  (:func:`~repro.bench.experiments.figure7` ... ``figure12``), each
+  printing the series it regenerates plus automated shape checks.
+"""
+
+from repro.bench.algorithms import ALGORITHM_NAMES, BenchContext, get_algorithm
+from repro.bench.runner import SweepResult, run_sweep
+from repro.bench.reporting import format_sweep
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "BenchContext",
+    "SweepResult",
+    "format_sweep",
+    "get_algorithm",
+    "run_sweep",
+]

@@ -1,0 +1,171 @@
+"""Text rendering and shape checks for sweep results.
+
+The paper's evaluation reports each figure as running-time series; the
+harness prints the same series as a fixed-width table and then runs
+*shape checks* — the qualitative claims a reproduction should preserve
+(who blows up, who stays flat, who grows how fast) — reporting PASS/FAIL
+for each.
+"""
+
+from __future__ import annotations
+
+
+from repro.bench.runner import SweepResult
+
+
+def format_sweep(result: SweepResult, *, title: str = "") -> str:
+    """A fixed-width table: one row per x value, one column per algorithm."""
+    names = list(result.seconds)
+    width = max(12, max((len(n) for n in names), default=12) + 2)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = f"{result.x_label:>12}" + "".join(f"{name:>{width}}" for name in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(result.xs):
+        cells = []
+        for name in names:
+            value = result.seconds[name][i]
+            cells.append(
+                f"{'skipped':>{width}}" if value is None else f"{value:>{width}.4f}"
+            )
+        lines.append(f"{x!s:>12}" + "".join(cells))
+    return "\n".join(lines)
+
+
+class ShapeCheck:
+    """One qualitative claim about a sweep, with a pass/fail evaluator."""
+
+    def __init__(self, description: str, passed: bool, detail: str = "") -> None:
+        self.description = description
+        self.passed = passed
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        tail = f" ({self.detail})" if self.detail else ""
+        return f"[{status}] {self.description}{tail}"
+
+
+def check_blows_up(result: SweepResult, algorithm: str) -> ShapeCheck:
+    """The algorithm was skipped (exceeded its budget) before the sweep end."""
+    series = result.seconds[algorithm]
+    passed = series[-1] is None or (
+        series[0] is not None
+        and series[-1] is not None
+        and series[-1] > max(series[0], 1e-4) * 50
+    )
+    return ShapeCheck(
+        f"{algorithm} blows up along {result.x_label}",
+        passed,
+        f"first={series[0]}, last={series[-1]}",
+    )
+
+
+def check_stays_fast(
+    result: SweepResult, algorithm: str, budget: float
+) -> ShapeCheck:
+    """The algorithm completed every point within ``budget`` seconds."""
+    series = result.seconds[algorithm]
+    passed = all(value is not None and value <= budget for value in series)
+    worst = max((v for v in series if v is not None), default=None)
+    return ShapeCheck(
+        f"{algorithm} stays under {budget:g}s along {result.x_label}",
+        passed,
+        f"worst={worst}",
+    )
+
+
+def check_dominates(
+    result: SweepResult, slower: str, faster: str, *, factor: float = 1.0
+) -> ShapeCheck:
+    """At the largest common size, ``slower`` takes >= factor x ``faster``."""
+    pairs = [
+        (s, f)
+        for s, f in zip(result.seconds[slower], result.seconds[faster])
+        if s is not None and f is not None
+    ]
+    if not pairs:
+        # ``slower`` got skipped while ``faster`` survived — the strongest
+        # form of domination.
+        passed = result.last_defined(faster) is not None
+        return ShapeCheck(
+            f"{slower} slower than {faster}", passed, "slower was skipped"
+        )
+    s, f = pairs[-1]
+    passed = s >= f * factor
+    return ShapeCheck(
+        f"{slower} >= {factor:g}x {faster} at the largest size",
+        passed,
+        f"{s:.4f}s vs {f:.4f}s",
+    )
+
+
+def check_growth_at_most_linear(
+    result: SweepResult, algorithm: str, *, slack: float = 3.0
+) -> ShapeCheck:
+    """Timing grows no faster than ``slack`` x the size ratio (≈ linear)."""
+    xs = [float(x) for x in result.xs]
+    series = result.seconds[algorithm]
+    points = [(x, s) for x, s in zip(xs, series) if s is not None and s > 1e-4]
+    if len(points) < 2:
+        return ShapeCheck(
+            f"{algorithm} grows at most linearly", True, "too fast to measure"
+        )
+    (x0, s0), (x1, s1) = points[0], points[-1]
+    passed = (s1 / s0) <= slack * (x1 / x0)
+    return ShapeCheck(
+        f"{algorithm} grows at most linearly in {result.x_label}",
+        passed,
+        f"time x{s1 / s0:.1f} for size x{x1 / x0:.1f}",
+    )
+
+
+def check_growth_superlinear(
+    result: SweepResult, algorithm: str, *, factor: float = 2.0
+) -> ShapeCheck:
+    """Timing grows clearly faster than the size ratio (or gets skipped)."""
+    xs = [float(x) for x in result.xs]
+    series = result.seconds[algorithm]
+    if series[-1] is None and any(s is not None for s in series):
+        return ShapeCheck(
+            f"{algorithm} grows superlinearly in {result.x_label}",
+            True,
+            "skipped before sweep end",
+        )
+    points = [(x, s) for x, s in zip(xs, series) if s is not None and s > 1e-4]
+    if len(points) < 2:
+        return ShapeCheck(
+            f"{algorithm} grows superlinearly in {result.x_label}",
+            False,
+            "not enough measurable points",
+        )
+    (x0, s0), (x1, s1) = points[0], points[-1]
+    passed = (s1 / s0) >= factor * (x1 / x0)
+    return ShapeCheck(
+        f"{algorithm} grows superlinearly in {result.x_label}",
+        passed,
+        f"time x{s1 / s0:.1f} for size x{x1 / x0:.1f}",
+    )
+
+
+def print_report(
+    result: SweepResult,
+    checks: list[ShapeCheck],
+    *,
+    title: str,
+    notes: str = "",
+) -> bool:
+    """Print the series table and the shape checks; True when all pass."""
+    print()
+    print(format_sweep(result, title=title))
+    if notes:
+        print(notes)
+    print()
+    all_passed = True
+    for check in checks:
+        print(check)
+        all_passed = all_passed and check.passed
+    return all_passed

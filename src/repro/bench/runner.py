@@ -1,0 +1,133 @@
+"""Timed parameter sweeps with per-algorithm budgets.
+
+:func:`run_sweep` times each registered algorithm at each point of a
+parameter grid.  An algorithm whose last run exceeded the timeout is
+*skipped* at all larger sizes — mirroring how the paper handled its
+exponential algorithms ("a completion time of more than 10 days for 4
+auctions") without making the harness take ten days.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.bench.algorithms import BenchContext, get_algorithm
+
+
+class SweepResult:
+    """Timings of one sweep: ``seconds[algorithm][i]`` aligns with ``xs``.
+
+    A cell holds seconds, or ``None`` when the run was skipped because the
+    algorithm blew its budget at a smaller size.
+    """
+
+    def __init__(
+        self,
+        x_label: str,
+        xs: Sequence[object],
+        seconds: dict[str, list[float | None]],
+    ) -> None:
+        self.x_label = x_label
+        self.xs = list(xs)
+        self.seconds = seconds
+
+    def series(self, algorithm: str) -> list[tuple[object, float | None]]:
+        """The (x, seconds) series of one algorithm."""
+        return list(zip(self.xs, self.seconds[algorithm]))
+
+    def last_defined(self, algorithm: str) -> float | None:
+        """The largest-size timing that actually ran, if any."""
+        for value in reversed(self.seconds[algorithm]):
+            if value is not None:
+                return value
+        return None
+
+    def to_dict(self) -> dict:
+        """A JSON-ready form of the sweep (for plotting outside Python)."""
+        return {
+            "x_label": self.x_label,
+            "xs": list(self.xs),
+            "seconds": {name: list(series) for name, series in self.seconds.items()},
+        }
+
+    def save_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path`` as indented JSON."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        """Rebuild a sweep result saved by :meth:`save_json`."""
+        return cls(data["x_label"], data["xs"], dict(data["seconds"]))
+
+
+def time_once(fn: Callable[[], object]) -> float:
+    """Wall-clock seconds of a single call."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def time_best(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds (paper: averages of runs; we
+    take the minimum, the standard low-noise estimator)."""
+    return min(time_once(fn) for _ in range(max(1, repeats)))
+
+
+def run_sweep(
+    x_label: str,
+    xs: Sequence[object],
+    make_context: Callable[[object], BenchContext],
+    algorithms: Iterable[str],
+    *,
+    timeout: float = 30.0,
+    repeats: int = 1,
+    verbose: bool = True,
+) -> SweepResult:
+    """Time every algorithm at every grid point.
+
+    Parameters
+    ----------
+    x_label / xs:
+        The swept parameter (e.g. ``#tuples``) and its values, ascending.
+    make_context:
+        Builds the :class:`BenchContext` for one grid point.  Called once
+        per point; the context is closed afterwards.
+    algorithms:
+        Registry names (see :mod:`repro.bench.algorithms`).
+    timeout:
+        Once an algorithm's run exceeds this many seconds, it is skipped at
+        every larger grid point (recorded as ``None``).
+    repeats:
+        Timing repetitions per cell (best is kept).
+    """
+    names = list(algorithms)
+    seconds: dict[str, list[float | None]] = {name: [] for name in names}
+    exhausted: set[str] = set()
+    for x in xs:
+        context = make_context(x)
+        try:
+            for name in names:
+                if name in exhausted:
+                    seconds[name].append(None)
+                    continue
+                runner = get_algorithm(name)
+                try:
+                    elapsed = time_best(lambda: runner(context), repeats)
+                except Exception as error:  # budget guards raise EvaluationError
+                    if verbose:
+                        print(f"  {x_label}={x} {name}: skipped ({error})")
+                    exhausted.add(name)
+                    seconds[name].append(None)
+                    continue
+                seconds[name].append(elapsed)
+                if verbose:
+                    print(f"  {x_label}={x} {name}: {elapsed:.4f}s")
+                if elapsed > timeout:
+                    exhausted.add(name)
+        finally:
+            context.close()
+    return SweepResult(x_label, xs, seconds)

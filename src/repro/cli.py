@@ -1,0 +1,330 @@
+"""Command-line entry point: ``repro-bench`` (or ``python -m repro.cli``).
+
+Subcommands regenerate the paper's tables and figures::
+
+    repro-bench table3            # the six semantics of query Q1
+    repro-bench fig6              # the complexity matrix
+    repro-bench fig7 ... fig12    # the Section V experiments
+    repro-bench ablations         # this library's own ablation studies
+    repro-bench all               # everything, in order
+
+``--full`` switches a figure to the paper's own scale (minutes to hours
+and, for fig12, several GB of RAM).
+
+There is also a standalone query tool: given a CSV of source data and a
+JSON p-mapping (see :mod:`repro.schema.serialize`), answer a query under
+any semantics cell::
+
+    repro-bench query --data listings.csv --mapping mapping.json \\
+        --query "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'" \\
+        --mapping-semantics by-tuple --aggregate-semantics distribution
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments
+
+
+def _add_figure(subparsers, name: str, help_text: str):
+    parser = subparsers.add_parser(name, help=help_text)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at the paper's own scale instead of the laptop default",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-algorithm budget in seconds")
+    return parser
+
+
+def _kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {"seed": args.seed}
+    if args.timeout is not None:
+        kwargs["timeout"] = args.timeout
+    return kwargs
+
+
+def _run_figure(name: str, args: argparse.Namespace) -> bool:
+    if name == "fig6":
+        return experiments.figure6()
+    if name == "fig7":
+        kwargs = _kwargs(args)
+        if args.full:
+            kwargs["tuple_counts"] = (4, 8, 12, 16, 20)
+        return experiments.figure7(**kwargs)
+    if name == "fig8":
+        kwargs = _kwargs(args)
+        if args.full:
+            kwargs["mapping_counts"] = (2, 4, 6, 8, 10, 12)
+        return experiments.figure8(**kwargs)
+    if name == "fig9":
+        kwargs = _kwargs(args)
+        if args.full:
+            kwargs["tuple_counts"] = (10000, 20000, 50000, 100000)
+            kwargs.setdefault("timeout", 120.0)
+        return experiments.figure9(**kwargs)
+    if name == "fig10":
+        kwargs = _kwargs(args)
+        if args.full:
+            kwargs["num_tuples"] = 50000
+            kwargs["num_attributes"] = 500
+        return experiments.figure10(**kwargs)
+    if name == "fig11":
+        kwargs = _kwargs(args)
+        if args.full:
+            kwargs["tuple_counts"] = (1000000, 2000000, 5000000)
+            kwargs["vectorized"] = True
+        return experiments.figure11(**kwargs)
+    if name == "fig12":
+        kwargs = _kwargs(args)
+        if args.full:
+            kwargs["tuple_counts"] = (15000000, 20000000, 30000000)
+            kwargs["vectorized"] = True
+        return experiments.figure12(**kwargs)
+    raise AssertionError(f"unhandled figure {name}")
+
+
+def _run_streamed_query(args: argparse.Namespace) -> int:
+    """``query --stream``: fold the CSV through an accumulator, O(1) rows."""
+    from repro.core import streaming
+    from repro.core.semantics import AggregateSemantics
+    from repro.exceptions import ReproError, UnsupportedQueryError
+    from repro.schema.serialize import load_pmapping
+    from repro.sql.ast import AggregateOp
+    from repro.sql.parser import parse_query
+    from repro.storage.csv_io import iter_csv_rows
+
+    factories = {
+        (AggregateOp.COUNT, AggregateSemantics.RANGE):
+            streaming.RangeCountAccumulator,
+        (AggregateOp.COUNT, AggregateSemantics.DISTRIBUTION):
+            streaming.DistributionCountAccumulator,
+        (AggregateOp.COUNT, AggregateSemantics.EXPECTED_VALUE):
+            streaming.ExpectedCountAccumulator,
+        (AggregateOp.SUM, AggregateSemantics.RANGE):
+            streaming.RangeSumAccumulator,
+        (AggregateOp.SUM, AggregateSemantics.EXPECTED_VALUE):
+            streaming.ExpectedSumAccumulator,
+        (AggregateOp.AVG, AggregateSemantics.RANGE):
+            streaming.RangeAvgAccumulator,
+        (AggregateOp.MIN, AggregateSemantics.RANGE):
+            lambda stream: streaming.RangeMinMaxAccumulator(
+                stream, maximize=False),
+        (AggregateOp.MAX, AggregateSemantics.RANGE):
+            lambda stream: streaming.RangeMinMaxAccumulator(
+                stream, maximize=True),
+    }
+    try:
+        if args.mapping_semantics != "by-tuple":
+            raise UnsupportedQueryError(
+                "--stream supports the by-tuple semantics; drop --stream "
+                "for by-table queries"
+            )
+        pmapping = load_pmapping(args.mapping)
+        query = parse_query(args.query)
+        cell = (query.aggregate.op, AggregateSemantics(args.aggregate_semantics))
+        factory = factories.get(cell)
+        if factory is None:
+            raise UnsupportedQueryError(
+                f"no streaming accumulator for {cell[0].value} under the "
+                f"{cell[1].value} semantics"
+            )
+        answer = streaming.answer_stream(
+            iter_csv_rows(pmapping.source, args.data),
+            pmapping.source,
+            pmapping,
+            query,
+            factory,
+        )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(answer)
+    return 0
+
+
+def _run_match(args: argparse.Namespace) -> int:
+    """The ``match`` subcommand: two CSVs -> validated JSON p-mapping."""
+    from repro.exceptions import ReproError
+    from repro.schema.correspondence import AttributeCorrespondence
+    from repro.schema.matcher import MatcherConfig, SchemaMatcher
+    from repro.schema.serialize import save_pmapping
+    from repro.storage.csv_io import infer_relation, load_table_csv
+
+    try:
+        known = []
+        for pin in args.known:
+            source_attr, separator, target_attr = pin.partition("=")
+            if not separator or not source_attr or not target_attr:
+                print(
+                    f"error: --known expects SRC=TGT, got {pin!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            known.append(AttributeCorrespondence(source_attr, target_attr))
+        source = load_table_csv(
+            infer_relation(args.source_name, args.source), args.source
+        )
+        target = load_table_csv(
+            infer_relation(args.target_name, args.target), args.target
+        )
+        matcher = SchemaMatcher(
+            source,
+            target,
+            known=known,
+            config=MatcherConfig(
+                top_k=args.top_k,
+                threshold=args.threshold,
+                temperature=args.temperature,
+            ),
+        )
+        pmapping = matcher.pmapping()
+        save_pmapping(pmapping, args.output)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"wrote {len(pmapping)} candidate mappings to {args.output}:")
+    for mapping, probability in pmapping:
+        pairs = ", ".join(
+            f"{corr.source}->{corr.target}" for corr in mapping.correspondences
+        )
+        print(f"  {mapping.describe():>8}  P={probability:.4f}  {pairs}")
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    """The ``query`` subcommand: CSV + JSON p-mapping -> printed answer."""
+    from repro.core.engine import AggregationEngine
+    from repro.exceptions import ReproError
+    from repro.schema.serialize import load_pmapping
+    from repro.storage.csv_io import load_table_csv
+
+    if args.stream:
+        return _run_streamed_query(args)
+    try:
+        pmapping = load_pmapping(args.mapping)
+        table = load_table_csv(pmapping.source, args.data)
+        engine = AggregationEngine(
+            [table],
+            pmapping,
+            backend=args.backend,
+            allow_exponential=args.allow_exponential,
+            allow_sampling=args.samples is not None,
+        )
+        with engine:
+            answer = engine.answer(
+                args.query,
+                args.mapping_semantics,
+                args.aggregate_semantics,
+                samples=args.samples,
+            )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(answer)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the tables and figures of 'Aggregate Query "
+        "Answering under Uncertain Schema Mappings' (ICDE 2009).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("table3", help="Table III: six semantics of Q1")
+    subparsers.add_parser("fig6", help="Figure 6: complexity matrix")
+    _add_figure(subparsers, "fig7", "small eBay instances, all algorithms")
+    _add_figure(subparsers, "fig8", "small synthetic, varying #mappings")
+    _add_figure(subparsers, "fig9", "medium synthetic, PTIME algorithms")
+    _add_figure(subparsers, "fig10", "varying #mappings, wide table")
+    _add_figure(subparsers, "fig11", "large #tuples")
+    _add_figure(subparsers, "fig12", "very large #tuples")
+    subparsers.add_parser(
+        "ablations", help="scalar-vs-vectorized, expected-COUNT, AVG-counter"
+    )
+    query_parser = subparsers.add_parser(
+        "query", help="answer a query over a CSV + JSON p-mapping"
+    )
+    query_parser.add_argument("--data", required=True,
+                              help="CSV file of the source relation")
+    query_parser.add_argument("--mapping", required=True,
+                              help="JSON p-mapping (repro.schema.serialize)")
+    query_parser.add_argument("--query", required=True,
+                              help="aggregate SQL over the target schema")
+    query_parser.add_argument(
+        "--mapping-semantics", default="by-table",
+        choices=["by-table", "by-tuple"],
+    )
+    query_parser.add_argument(
+        "--aggregate-semantics", default="distribution",
+        choices=["range", "distribution", "expected-value"],
+    )
+    query_parser.add_argument("--allow-exponential", action="store_true")
+    query_parser.add_argument("--samples", type=int, default=None,
+                              help="use Monte-Carlo sampling with N samples")
+    query_parser.add_argument("--backend", default="memory",
+                              choices=["memory", "sqlite"])
+    query_parser.add_argument(
+        "--stream", action="store_true",
+        help="single-pass streaming evaluation (by-tuple, flat queries; "
+        "the CSV is never materialized, so it may exceed RAM)",
+    )
+    match_parser = subparsers.add_parser(
+        "match",
+        help="match two CSVs automatically and emit a JSON p-mapping",
+    )
+    match_parser.add_argument("--source", required=True,
+                              help="CSV of the source relation")
+    match_parser.add_argument("--target", required=True,
+                              help="CSV of the target (mediated) relation")
+    match_parser.add_argument("--output", required=True,
+                              help="path for the JSON p-mapping")
+    match_parser.add_argument("--source-name", default="SOURCE")
+    match_parser.add_argument("--target-name", default="TARGET")
+    match_parser.add_argument("--top-k", type=int, default=5)
+    match_parser.add_argument("--threshold", type=float, default=0.35)
+    match_parser.add_argument("--temperature", type=float, default=0.1)
+    match_parser.add_argument(
+        "--known", action="append", default=[], metavar="SRC=TGT",
+        help="pin a correspondence (repeatable), e.g. --known ID=propertyID",
+    )
+    all_parser = subparsers.add_parser("all", help="every experiment in order")
+    all_parser.add_argument("--full", action="store_true")
+    all_parser.add_argument("--seed", type=int, default=0)
+    all_parser.add_argument("--timeout", type=float, default=None)
+
+    args = parser.parse_args(argv)
+    passed = True
+    if args.command == "query":
+        return _run_query(args)
+    if args.command == "match":
+        return _run_match(args)
+    if args.command == "table3":
+        passed = experiments.table3()
+    elif args.command == "ablations":
+        passed = experiments.ablation_vectorized()
+        passed = experiments.ablation_expected_count() and passed
+        passed = experiments.ablation_avg_counter_method() and passed
+    elif args.command == "all":
+        passed = experiments.table3()
+        passed = experiments.figure6() and passed
+        for name in ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12"):
+            passed = _run_figure(name, args) and passed
+        passed = experiments.ablation_vectorized() and passed
+        passed = experiments.ablation_expected_count() and passed
+        passed = experiments.ablation_avg_counter_method() and passed
+    else:
+        passed = _run_figure(args.command, args)
+    print()
+    print("ALL SHAPE CHECKS PASSED" if passed else "SOME SHAPE CHECKS FAILED")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

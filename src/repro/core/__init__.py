@@ -1,0 +1,51 @@
+"""The paper's contribution: aggregate answering under uncertain mappings.
+
+The central entry point is :class:`~repro.core.engine.AggregationEngine`,
+which parses an aggregate query posed on the mediated schema, consults the
+:class:`~repro.core.planner.Planner` for an algorithm matching the requested
+semantics cell, and runs it over the source data.
+
+The algorithm modules follow the paper's Section IV:
+
+=====================  =====================================================
+module                 contents
+=====================  =====================================================
+``bytable``            generic by-table algorithm (Figure 1) + CombineResults
+``bytuple_count``      ByTupleRangeCOUNT (Fig. 2), ByTuplePDCOUNT (Fig. 3)
+``bytuple_sum``        ByTupleRangeSUM (Fig. 4), ByTupleExpValSUM (Thm. 4)
+``bytuple_avg``        ByTupleRangeAVG
+``bytuple_minmax``     ByTupleRangeMAX / ByTupleRangeMIN (Fig. 5)
+``naive``              exponential sequence enumeration (the baseline)
+``sampling``           Monte-Carlo estimators (paper Sec. VII future work)
+``planner``            the Figure 6 complexity matrix, algorithm dispatch
+``engine``             the user-facing facade
+=====================  =====================================================
+"""
+
+from repro.core.answers import (
+    AggregateAnswer,
+    DistributionAnswer,
+    ExpectedValueAnswer,
+    GroupedAnswer,
+    RangeAnswer,
+)
+from repro.core.engine import AggregationEngine
+from repro.core.planner import AlgorithmSpec, Complexity, Planner, complexity_matrix
+from repro.core.semantics import AggregateSemantics, MappingSemantics
+from repro.sql.ast import AggregateOp
+
+__all__ = [
+    "AggregateAnswer",
+    "AggregateOp",
+    "AggregateSemantics",
+    "AggregationEngine",
+    "AlgorithmSpec",
+    "Complexity",
+    "DistributionAnswer",
+    "ExpectedValueAnswer",
+    "GroupedAnswer",
+    "MappingSemantics",
+    "Planner",
+    "RangeAnswer",
+    "complexity_matrix",
+]

@@ -1,0 +1,203 @@
+"""The generic by-table algorithm (paper Figure 1).
+
+Under by-table semantics one mapping applies to the whole relation, so the
+algorithm is: reformulate the query once per candidate mapping, answer each
+reformulation as an ordinary (certain) aggregate query, and combine the
+per-mapping results according to the chosen aggregate semantics
+(``CombineResults`` in the paper).
+
+Reformulated queries can be answered by either substrate:
+
+* :func:`memory_executor` — the in-memory evaluator
+  (:mod:`repro.core.eval`);
+* :func:`sqlite_executor` — the SQLite backend, which is what gives the
+  by-table path the "DBMS optimizations" scalability the paper reports.
+
+Both produce identical answers (a tested invariant).
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from collections.abc import Callable, Mapping
+
+from repro.core.answers import (
+    AggregateAnswer,
+    DistributionAnswer,
+    ExpectedValueAnswer,
+    GroupedAnswer,
+    RangeAnswer,
+)
+from repro.core.eval import evaluate_certain
+from repro.core.semantics import AggregateSemantics
+from repro.exceptions import EvaluationError
+from repro.prob.distribution import DiscreteDistribution
+from repro.schema.mapping import PMapping
+from repro.schema.model import AttributeType, Relation
+from repro.sql.ast import AggregateOp, AggregateQuery, SubquerySource
+from repro.sql.reformulate import reformulations
+from repro.sql.render import executable_sql
+from repro.storage.sqlite_backend import SQLiteBackend
+from repro.storage.table import Table
+
+#: A certain-query executor: reformulated query -> scalar or {group: value}.
+CertainExecutor = Callable[[AggregateQuery], object]
+
+
+def memory_executor(tables: Mapping[str, Table]) -> CertainExecutor:
+    """An executor answering reformulated queries over in-memory tables."""
+
+    def execute(query: AggregateQuery) -> object:
+        return evaluate_certain(query, tables)
+
+    return execute
+
+
+def sqlite_executor(backend: SQLiteBackend) -> CertainExecutor:
+    """An executor shipping reformulated queries to the SQLite backend.
+
+    Dates come back as ISO TEXT from SQLite; group keys and MIN/MAX results
+    over DATE columns are converted back to :class:`datetime.date` so both
+    executors return identical values.
+    """
+
+    def execute(query: AggregateQuery) -> object:
+        catalog = {
+            name: backend.relation(name) for name in backend.relation_names
+        }
+        sql = executable_sql(query, catalog)
+        rows = backend.query(sql)
+        flat = query.source.query if isinstance(query.source, SubquerySource) else query
+        relation = catalog[flat.source.name]
+        convert_value = _value_converter(flat, relation)
+        if isinstance(query.source, SubquerySource) or flat.group_by is None:
+            if not rows:
+                return None
+            return convert_value(rows[0][-1])
+        convert_key = _key_converter(flat, relation)
+        return {convert_key(row[0]): convert_value(row[1]) for row in rows}
+
+    return execute
+
+
+def _value_converter(flat: AggregateQuery, relation: Relation):
+    argument = flat.aggregate.argument
+    needs_date = (
+        argument is not None
+        and flat.aggregate.op in (AggregateOp.MIN, AggregateOp.MAX)
+        and argument.name in relation
+        and relation.attribute(argument.name).type is AttributeType.DATE
+    )
+
+    def convert(value: object) -> object:
+        if value is None:
+            return None
+        if needs_date:
+            return datetime.date.fromisoformat(str(value))
+        return value
+
+    return convert
+
+
+def _key_converter(flat: AggregateQuery, relation: Relation):
+    group = flat.group_by
+    is_date = (
+        group is not None
+        and group.name in relation
+        and relation.attribute(group.name).type is AttributeType.DATE
+    )
+
+    def convert(key: object) -> object:
+        if key is None or not is_date:
+            return key
+        return datetime.date.fromisoformat(str(key))
+
+    return convert
+
+
+def by_table_results(
+    query: AggregateQuery,
+    pmapping: PMapping,
+    executor: CertainExecutor,
+) -> list[tuple[object, float]]:
+    """Steps 1-4 of Figure 1: one certain answer per candidate mapping."""
+    return [
+        (executor(reformulated), probability)
+        for reformulated, probability in reformulations(
+            query, pmapping, unmapped="null"
+        )
+    ]
+
+
+def combine_scalar_results(
+    results: list[tuple[float | None, float]],
+    semantics: AggregateSemantics,
+) -> AggregateAnswer:
+    """``CombineResults`` of Figure 1 for one scalar answer per mapping.
+
+    A ``None`` per-mapping value means the aggregate was undefined under
+    that mapping (no qualifying tuples); the range/distribution report the
+    defined values and record the undefined probability mass, and the
+    expected value conditions on the aggregate being defined.
+    """
+    defined = [(v, p) for v, p in results if v is not None]
+    undefined_mass = math.fsum(p for v, p in results if v is None)
+    if semantics is AggregateSemantics.RANGE:
+        if not defined:
+            return RangeAnswer(None, None)
+        values = [v for v, _ in defined]
+        return RangeAnswer(min(values), max(values))
+    if semantics is AggregateSemantics.DISTRIBUTION:
+        if not defined:
+            return DistributionAnswer(None, undefined_probability=1.0)
+        distribution = DiscreteDistribution(defined, normalize=True)
+        return DistributionAnswer(
+            distribution, undefined_probability=undefined_mass
+        )
+    if semantics is AggregateSemantics.EXPECTED_VALUE:
+        if not defined:
+            return ExpectedValueAnswer(None)
+        defined_mass = math.fsum(p for _, p in defined)
+        value = math.fsum(v * p for v, p in defined) / defined_mass
+        return ExpectedValueAnswer(value)
+    raise EvaluationError(f"unknown aggregate semantics {semantics!r}")
+
+
+def combine_results(
+    results: list[tuple[object, float]],
+    semantics: AggregateSemantics,
+) -> AggregateAnswer:
+    """``CombineResults`` for scalar or grouped per-mapping answers.
+
+    For grouped answers the combination happens per group over the union of
+    group keys; a mapping under which a group has no qualifying tuples (SQL
+    omits the group entirely) contributes an undefined value for that group.
+    """
+    if not results:
+        raise EvaluationError("no per-mapping results to combine")
+    if not isinstance(results[0][0], dict):
+        return combine_scalar_results(results, semantics)
+    keys: dict[object, None] = {}
+    for result, _ in results:
+        if not isinstance(result, dict):
+            raise EvaluationError(
+                "cannot combine grouped and ungrouped per-mapping results"
+            )
+        for key in result:
+            keys.setdefault(key, None)
+    combined: dict[object, AggregateAnswer] = {}
+    for key in keys:
+        per_mapping = [(result.get(key), probability) for result, probability in results]
+        combined[key] = combine_scalar_results(per_mapping, semantics)
+    return GroupedAnswer(combined)
+
+
+def by_table_answer(
+    query: AggregateQuery,
+    pmapping: PMapping,
+    executor: CertainExecutor,
+    semantics: AggregateSemantics,
+) -> AggregateAnswer:
+    """The full by-table algorithm of Figure 1 for any aggregate semantics."""
+    return combine_results(by_table_results(query, pmapping, executor), semantics)

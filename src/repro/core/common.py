@@ -1,0 +1,230 @@
+"""Shared machinery for the by-tuple algorithms.
+
+Every by-tuple algorithm in Section IV-B of the paper visits each source
+tuple and asks, for each candidate mapping ``m_j`` with probability
+``P(m_j)``:
+
+* does the tuple satisfy the (reformulated) selection condition under
+  ``m_j``?
+* if so, what value does it contribute to the aggregate?
+
+:class:`PreparedTupleQuery` performs that reformulate-and-compile step once
+per mapping, and then exposes per-tuple *contribution vectors*: entry ``j``
+is the contributed value under mapping ``j``, or ``None`` when the tuple
+does not participate under ``j`` (condition false, or NULL argument — SQL
+aggregates skip NULLs).  For ``COUNT`` the contributed value is ``1``.
+
+GROUP BY is handled here as well: the grouping attribute must be *certain*
+(mapped to the same source attribute by every candidate mapping), in which
+case rows are partitioned once and each algorithm runs per group.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.core.answers import AggregateAnswer, GroupedAnswer
+from repro.exceptions import UnsupportedQueryError
+from repro.schema.mapping import PMapping
+from repro.sql.ast import AggregateOp, AggregateQuery, SubquerySource
+from repro.sql.conditions import compile_condition
+from repro.sql.reformulate import reformulate_query
+from repro.storage.table import Row, Table
+
+#: One per-tuple contribution vector: ``vector[j]`` is the value the tuple
+#: contributes under mapping ``j``, or ``None`` when it does not participate.
+ContributionVector = tuple
+
+
+class PreparedTupleQuery:
+    """A by-tuple evaluation problem, compiled once per candidate mapping.
+
+    Parameters
+    ----------
+    table:
+        The source relation instance.
+    pmapping:
+        The probabilistic mapping between the source relation and the target
+        relation the query mentions.
+    query:
+        A flat (non-nested) aggregate query on the target schema.  DISTINCT
+        is rejected for SUM/AVG/COUNT under by-tuple semantics (the paper
+        does not define it; MIN/MAX ignore DISTINCT since it cannot change
+        their value).
+    rows:
+        Optionally restrict evaluation to these row tuples (used by the
+        GROUP BY partitioner); defaults to all rows of ``table``.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        pmapping: PMapping,
+        query: AggregateQuery,
+        rows: list[tuple] | None = None,
+    ) -> None:
+        if isinstance(query.source, SubquerySource):
+            raise UnsupportedQueryError(
+                "by-tuple algorithms operate on flat queries; evaluate the "
+                "nested levels separately (see repro.core.engine)"
+            )
+        if query.aggregate.distinct and query.aggregate.op not in (
+            AggregateOp.MIN,
+            AggregateOp.MAX,
+        ):
+            raise UnsupportedQueryError(
+                f"DISTINCT is not supported for by-tuple "
+                f"{query.aggregate.op.value}"
+            )
+        if query.source.name != pmapping.target.name:
+            raise UnsupportedQueryError(
+                f"query reads from {query.source.name!r} but the p-mapping "
+                f"targets {pmapping.target.name!r}"
+            )
+        self.table = table
+        self.pmapping = pmapping
+        self.query = query
+        self.op = query.aggregate.op
+        self.rows: list[tuple] = list(table.rows) if rows is None else rows
+
+        relation = table.relation
+        self.probabilities: list[float] = []
+        self._predicates: list[Callable[[Row], bool]] = []
+        self._argument_indexes: list[int | None] = []
+        group_sources: set[str] = set()
+        for mapping, probability in pmapping:
+            reformulated = reformulate_query(query, mapping, unmapped="null")
+            binding = reformulated.source.binding_name
+            self.probabilities.append(probability)
+            self._predicates.append(
+                compile_condition(reformulated.where, relation, binding)
+            )
+            argument = reformulated.aggregate.argument
+            self._argument_indexes.append(
+                relation.index_of(argument.name) if argument is not None else None
+            )
+            if reformulated.group_by is not None:
+                group_sources.add(reformulated.group_by.name)
+        if query.group_by is not None and len(group_sources) > 1:
+            raise UnsupportedQueryError(
+                "GROUP BY attribute maps to different source attributes "
+                f"under different mappings ({sorted(group_sources)}); "
+                "by-tuple grouping requires a certain grouping attribute"
+            )
+        self._group_index = (
+            relation.index_of(next(iter(group_sources))) if group_sources else None
+        )
+        self._relation = relation
+
+    @property
+    def mapping_count(self) -> int:
+        """Number of candidate mappings."""
+        return len(self.probabilities)
+
+    @property
+    def has_group_by(self) -> bool:
+        """True when the query groups rows by a (certain) attribute."""
+        return self._group_index is not None
+
+    # -- contribution vectors ---------------------------------------------
+
+    def contribution(self, values: tuple, mapping_index: int) -> object | None:
+        """The value tuple ``values`` contributes under one mapping."""
+        row = Row(self._relation, values)
+        if not self._predicates[mapping_index](row):
+            return None
+        argument_index = self._argument_indexes[mapping_index]
+        if argument_index is None:
+            return 1
+        value = values[argument_index]
+        if value is None:
+            return None
+        if self.op is AggregateOp.COUNT:
+            return 1
+        return value
+
+    def contribution_vectors(self) -> Iterator[ContributionVector]:
+        """Per-tuple contribution vectors, one per row, in row order."""
+        relation = self._relation
+        predicates = self._predicates
+        argument_indexes = self._argument_indexes
+        is_count = self.op is AggregateOp.COUNT
+        for values in self.rows:
+            row = Row(relation, values)
+            vector = []
+            for predicate, argument_index in zip(predicates, argument_indexes):
+                if not predicate(row):
+                    vector.append(None)
+                    continue
+                if argument_index is None:
+                    vector.append(1)
+                    continue
+                value = values[argument_index]
+                if value is None:
+                    vector.append(None)
+                elif is_count:
+                    vector.append(1)
+                else:
+                    vector.append(value)
+            yield tuple(vector)
+
+    def satisfaction_probability(self, vector: ContributionVector) -> float:
+        """Probability that a tuple with this vector participates."""
+        return sum(
+            p
+            for p, contribution in zip(self.probabilities, vector)
+            if contribution is not None
+        )
+
+    # -- grouping ------------------------------------------------------------
+
+    def partition(self) -> dict[object, "PreparedTupleQuery"]:
+        """Split the problem per group of the (certain) GROUP BY attribute.
+
+        Group membership does not depend on the WHERE condition: a group
+        exists as soon as some row carries its key, and by-tuple algorithms
+        then decide per mapping which of its rows participate.
+        """
+        if self._group_index is None:
+            raise UnsupportedQueryError("query has no GROUP BY")
+        buckets: dict[object, list[tuple]] = {}
+        for values in self.rows:
+            buckets.setdefault(values[self._group_index], []).append(values)
+        out: dict[object, PreparedTupleQuery] = {}
+        for key, rows in buckets.items():
+            sub = object.__new__(PreparedTupleQuery)
+            sub.table = self.table
+            sub.pmapping = self.pmapping
+            sub.query = self.query
+            sub.op = self.op
+            sub.rows = rows
+            sub.probabilities = self.probabilities
+            sub._predicates = self._predicates
+            sub._argument_indexes = self._argument_indexes
+            sub._group_index = self._group_index
+            sub._relation = self._relation
+            out[key] = sub
+        return out
+
+
+def run_possibly_grouped(
+    table: Table,
+    pmapping: PMapping,
+    query: AggregateQuery,
+    scalar_algorithm: Callable[[PreparedTupleQuery], AggregateAnswer],
+) -> AggregateAnswer:
+    """Run a scalar by-tuple algorithm, fanning out over GROUP BY groups.
+
+    This is the shared driver used by every PTIME by-tuple algorithm:
+    prepare once, and either run directly or run per group and wrap the
+    results in a :class:`~repro.core.answers.GroupedAnswer`.
+    """
+    prepared = PreparedTupleQuery(table, pmapping, query)
+    if not prepared.has_group_by:
+        return scalar_algorithm(prepared)
+    return GroupedAnswer(
+        {
+            key: scalar_algorithm(sub)
+            for key, sub in prepared.partition().items()
+        }
+    )

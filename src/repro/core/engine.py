@@ -1,0 +1,480 @@
+"""The user-facing facade: parse, plan, and answer aggregate queries.
+
+:class:`AggregationEngine` owns the source tables and the schema p-mapping,
+and answers queries posed on the mediated schema under any of the six
+semantics cells:
+
+>>> engine = AggregationEngine([table], pmapping)              # doctest: +SKIP
+>>> engine.answer("SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'",
+...               "by-tuple", "range")                         # doctest: +SKIP
+RangeAnswer([1, 3])
+
+Mapping and aggregate semantics accept either the enums or their string
+values (``"by-table"``/``"by-tuple"``, ``"range"``/``"distribution"``/
+``"expected-value"``).
+
+Nested queries (a subquery in FROM, the paper's Q2 shape) are supported:
+
+* under **by-table** semantics directly (each mapping's reformulation is an
+  ordinary nested SQL query);
+* under **by-tuple/range** by composing per-group ranges: groups partition
+  the tuples, mapping choices are independent across groups, and the outer
+  aggregate is monotone in each group value, so the outer bounds are the
+  outer aggregate of the per-group bounds (exact whenever every group is
+  defined in every world — e.g. the inner query has no WHERE clause, as in
+  Q2; groups whose inner aggregate can be undefined are dropped with a
+  documented soundness caveat);
+* under other by-tuple semantics via naive enumeration or sampling,
+  according to the engine's policy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from repro.core import bytable
+from repro.core.answers import (
+    AggregateAnswer,
+    ExpectedValueAnswer,
+    GroupedAnswer,
+    RangeAnswer,
+)
+from repro.core.eval import apply_aggregate
+from repro.core.planner import AlgorithmSpec, EvaluationRequest, Planner
+from repro.core.semantics import AggregateSemantics, MappingSemantics
+from repro.exceptions import (
+    EvaluationError,
+    IntractableError,
+    MappingError,
+    UnsupportedQueryError,
+)
+from repro.schema.mapping import PMapping, SchemaPMapping
+from repro.sql.ast import AggregateOp, AggregateQuery, SubquerySource
+from repro.sql.parser import parse_query
+from repro.storage.sqlite_backend import SQLiteBackend
+from repro.storage.table import Table
+
+
+def _coerce_mapping_semantics(value: MappingSemantics | str) -> MappingSemantics:
+    if isinstance(value, MappingSemantics):
+        return value
+    try:
+        return MappingSemantics(value)
+    except ValueError:
+        choices = ", ".join(s.value for s in MappingSemantics)
+        raise EvaluationError(
+            f"unknown mapping semantics {value!r} (choices: {choices})"
+        ) from None
+
+
+def _coerce_aggregate_semantics(
+    value: AggregateSemantics | str,
+) -> AggregateSemantics:
+    if isinstance(value, AggregateSemantics):
+        return value
+    try:
+        return AggregateSemantics(value)
+    except ValueError:
+        choices = ", ".join(s.value for s in AggregateSemantics)
+        raise EvaluationError(
+            f"unknown aggregate semantics {value!r} (choices: {choices})"
+        ) from None
+
+
+class AggregationEngine:
+    """Answers aggregate queries over sources with uncertain mappings.
+
+    Parameters
+    ----------
+    tables:
+        The source data: a single :class:`Table`, an iterable of tables, or
+        a ``{relation_name: Table}`` mapping.
+    mappings:
+        The uncertainty model: a :class:`SchemaPMapping`, a single
+        :class:`PMapping`, or an iterable of p-mappings.
+    backend:
+        ``"memory"`` evaluates by-table queries in-process; ``"sqlite"``
+        materializes the sources into a SQLite database and pushes
+        reformulated queries to it (the paper's DBMS-backed configuration).
+    planner:
+        Algorithm-selection policy; defaults to a strict paper-faithful
+        :class:`Planner` honouring the keyword flags below.
+    allow_exponential / allow_sampling / use_extensions:
+        Convenience flags forwarded to the default planner.
+    vectorize:
+        Route the PTIME by-tuple algorithms through the numpy fast path
+        (:mod:`repro.core.vectorized`) when the query and data allow it,
+        falling back to the scalar implementations otherwise.  The columnar
+        view of each table is built lazily and cached for the engine's
+        lifetime, so repeated queries amortize it.
+    samples / seed / max_sequences:
+        Defaults for the sampling estimator and the naive-enumeration
+        guard; individual :meth:`answer` calls can override them.
+    """
+
+    def __init__(
+        self,
+        tables: Table | Iterable[Table] | Mapping[str, Table],
+        mappings: SchemaPMapping | PMapping | Iterable[PMapping],
+        *,
+        backend: str = "memory",
+        planner: Planner | None = None,
+        allow_exponential: bool = False,
+        allow_sampling: bool = False,
+        use_extensions: bool = False,
+        vectorize: bool = False,
+        samples: int = 2000,
+        seed: int | None = None,
+        max_sequences: int = 1 << 22,
+    ) -> None:
+        if isinstance(tables, Table):
+            tables = [tables]
+        if isinstance(tables, Mapping):
+            self._tables = dict(tables)
+        else:
+            self._tables = {table.relation.name: table for table in tables}
+        if isinstance(mappings, PMapping):
+            mappings = [mappings]
+        if isinstance(mappings, SchemaPMapping):
+            self._schema_pmapping = mappings
+        else:
+            self._schema_pmapping = SchemaPMapping(list(mappings))
+        for pmapping in self._schema_pmapping:
+            if pmapping.source.name not in self._tables:
+                raise MappingError(
+                    f"p-mapping source relation {pmapping.source.name!r} has "
+                    "no table"
+                )
+        self.planner = planner or Planner(
+            allow_exponential=allow_exponential,
+            allow_sampling=allow_sampling,
+            use_extensions=use_extensions,
+        )
+        self._samples = samples
+        self._seed = seed
+        self._max_sequences = max_sequences
+        self._vectorize = vectorize
+        self._columnar_cache: dict[str, object] = {}
+        self._backend: SQLiteBackend | None = None
+        if backend == "sqlite":
+            self._backend = SQLiteBackend()
+            for table in self._tables.values():
+                self._backend.materialize(table)
+            self._executor = bytable.sqlite_executor(self._backend)
+        elif backend == "memory":
+            self._executor = bytable.memory_executor(self._tables)
+        else:
+            raise EvaluationError(
+                f"unknown backend {backend!r} (choices: memory, sqlite)"
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the SQLite backend, if any."""
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "AggregationEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- resolution --------------------------------------------------------
+
+    def _resolve(self, query: AggregateQuery) -> tuple[Table, PMapping]:
+        source = query.source
+        while isinstance(source, SubquerySource):
+            source = source.query.source
+        pmapping = self._schema_pmapping.for_target(source.name)
+        return self._tables[pmapping.source.name], pmapping
+
+    def _request(
+        self,
+        table: Table,
+        pmapping: PMapping,
+        query: AggregateQuery,
+        samples: int | None,
+        seed: int | None,
+        max_sequences: int | None,
+    ) -> EvaluationRequest:
+        return EvaluationRequest(
+            table,
+            pmapping,
+            query,
+            self._executor,
+            samples=self._samples if samples is None else samples,
+            seed=self._seed if seed is None else seed,
+            max_sequences=(
+                self._max_sequences if max_sequences is None else max_sequences
+            ),
+        )
+
+    # -- answering ---------------------------------------------------------
+
+    def answer(
+        self,
+        query: str | AggregateQuery,
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+        *,
+        samples: int | None = None,
+        seed: int | None = None,
+        max_sequences: int | None = None,
+    ) -> AggregateAnswer:
+        """Answer ``query`` under one semantics cell.
+
+        Raises
+        ------
+        IntractableError
+            When the cell has no PTIME algorithm and the engine's policy
+            forbids both the exponential fallback and sampling.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        mapping_sem = _coerce_mapping_semantics(mapping_semantics)
+        aggregate_sem = _coerce_aggregate_semantics(aggregate_semantics)
+        table, pmapping = self._resolve(query)
+        request = self._request(table, pmapping, query, samples, seed, max_sequences)
+
+        if mapping_sem is MappingSemantics.BY_TABLE:
+            spec = self.planner.algorithm_for(
+                query.aggregate.op, mapping_sem, aggregate_sem
+            )
+            return spec.run(request)
+
+        if isinstance(query.source, SubquerySource):
+            return self._answer_nested_by_tuple(request, aggregate_sem)
+        if self._vectorize:
+            vectorized_answer = self._try_vectorized(request, aggregate_sem)
+            if vectorized_answer is not None:
+                return vectorized_answer
+        spec = self.planner.algorithm_for(
+            query.aggregate.op, mapping_sem, aggregate_sem
+        )
+        return spec.run(request)
+
+    def _try_vectorized(
+        self,
+        request: EvaluationRequest,
+        aggregate_semantics: AggregateSemantics,
+    ) -> AggregateAnswer | None:
+        """Answer a flat by-tuple cell on the numpy fast path, or ``None``.
+
+        Returns ``None`` (scalar fallback) for cells without a vectorized
+        implementation, or when the query/data falls outside the
+        vectorizable fragment (nullable columns, LIKE, ...).
+        """
+        from repro.core import vectorized
+
+        op = request.query.aggregate.op
+        cell = (op, aggregate_semantics)
+        functions = {
+            (AggregateOp.COUNT, AggregateSemantics.RANGE):
+                vectorized.by_tuple_range_count_vec,
+            (AggregateOp.COUNT, AggregateSemantics.DISTRIBUTION):
+                vectorized.by_tuple_distribution_count_vec,
+            (AggregateOp.COUNT, AggregateSemantics.EXPECTED_VALUE):
+                vectorized.by_tuple_expected_count_vec,
+            (AggregateOp.SUM, AggregateSemantics.RANGE):
+                vectorized.by_tuple_range_sum_vec,
+            (AggregateOp.SUM, AggregateSemantics.EXPECTED_VALUE):
+                vectorized.by_tuple_expected_sum_vec,
+            (AggregateOp.AVG, AggregateSemantics.RANGE):
+                vectorized.by_tuple_range_avg_vec,
+            (AggregateOp.MIN, AggregateSemantics.RANGE):
+                vectorized.by_tuple_range_min_vec,
+            (AggregateOp.MAX, AggregateSemantics.RANGE):
+                vectorized.by_tuple_range_max_vec,
+        }
+        scalar_vectorized = functions.get(cell)
+        if scalar_vectorized is None:
+            return None
+        name = request.pmapping.source.name
+        try:
+            columnar = self._columnar_cache.get(name)
+            if columnar is None:
+                columnar = vectorized.ColumnarTable(request.table)
+                self._columnar_cache[name] = columnar
+            return vectorized.run_grouped_vectorized(
+                columnar, request.pmapping, request.query, scalar_vectorized
+            )
+        except vectorized.VectorizationError:
+            return None
+
+    def algorithm_for(
+        self,
+        query: str | AggregateQuery,
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+    ) -> AlgorithmSpec:
+        """The algorithm the engine would use (inspection/testing hook)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return self.planner.algorithm_for(
+            query.aggregate.op,
+            _coerce_mapping_semantics(mapping_semantics),
+            _coerce_aggregate_semantics(aggregate_semantics),
+        )
+
+    def answer_six(
+        self,
+        query: str | AggregateQuery,
+        **options: object,
+    ) -> dict[tuple[MappingSemantics, AggregateSemantics], AggregateAnswer]:
+        """All six semantics cells for one query (the paper's Table III).
+
+        Cells whose evaluation is intractable under the engine's policy are
+        reported as the raised :class:`IntractableError` instance rather
+        than aborting the whole table.
+        """
+        results: dict[
+            tuple[MappingSemantics, AggregateSemantics], AggregateAnswer
+        ] = {}
+        for mapping_sem in MappingSemantics:
+            for aggregate_sem in AggregateSemantics:
+                try:
+                    results[(mapping_sem, aggregate_sem)] = self.answer(
+                        query, mapping_sem, aggregate_sem, **options
+                    )
+                except IntractableError as error:
+                    results[(mapping_sem, aggregate_sem)] = error
+        return results
+
+    # -- nested by-tuple ----------------------------------------------------
+
+    def _answer_nested_by_tuple(
+        self,
+        request: EvaluationRequest,
+        aggregate_semantics: AggregateSemantics,
+    ) -> AggregateAnswer:
+        if aggregate_semantics is AggregateSemantics.RANGE:
+            return self._nested_by_tuple_range(request)
+        if self.planner.use_extensions:
+            # Beyond the paper (its Section VII future work): interpret the
+            # inner per-group results as independent random variables and
+            # compose them exactly.  Falls through when the inner operator
+            # has no exact polynomial distribution or a group can be
+            # undefined in some world.
+            composed = self._nested_by_tuple_composition(
+                request, aggregate_semantics
+            )
+            if composed is not None:
+                return composed
+        # Distribution / expected value over a nested query: exact only via
+        # enumeration; otherwise sampling.
+        spec = _nested_fallback(self.planner, aggregate_semantics)
+        return spec.run(request)
+
+    def _nested_by_tuple_composition(
+        self,
+        request: EvaluationRequest,
+        aggregate_semantics: AggregateSemantics,
+    ) -> AggregateAnswer | None:
+        from repro.core import extensions, nested
+        from repro.core.answers import DistributionAnswer
+        from repro.core.bytuple_count import by_tuple_distribution_count
+
+        query = request.query
+        assert isinstance(query.source, SubquerySource)
+        inner = query.source.query
+        if query.aggregate.distinct:
+            return None
+        inner_op = inner.aggregate.op
+        try:
+            if inner_op is AggregateOp.COUNT:
+                inner_answer = by_tuple_distribution_count(
+                    request.table, request.pmapping, inner
+                )
+            elif inner_op is AggregateOp.MAX:
+                inner_answer = extensions.by_tuple_distribution_max(
+                    request.table, request.pmapping, inner
+                )
+            elif inner_op is AggregateOp.MIN:
+                inner_answer = extensions.by_tuple_distribution_min(
+                    request.table, request.pmapping, inner
+                )
+            else:
+                return None  # inner SUM/AVG: no exact polynomial route
+            if isinstance(inner_answer, GroupedAnswer):
+                group_answers = [answer for _, answer in inner_answer]
+            else:
+                group_answers = [inner_answer]
+            distributions = []
+            for answer in group_answers:
+                assert isinstance(answer, DistributionAnswer)
+                if not answer.is_defined or answer.undefined_probability > 1e-12:
+                    return None  # world-dependent group set: fall back
+                distributions.append(answer.distribution)
+            outer_op = query.aggregate.op
+            if aggregate_semantics is AggregateSemantics.EXPECTED_VALUE:
+                # Linearity of expectation avoids the convolution (whose
+                # support can explode) for the additive outer operators.
+                if outer_op is AggregateOp.SUM:
+                    return ExpectedValueAnswer(
+                        math.fsum(d.expected_value() for d in distributions)
+                    )
+                if outer_op is AggregateOp.AVG:
+                    return ExpectedValueAnswer(
+                        math.fsum(d.expected_value() for d in distributions)
+                        / len(distributions)
+                    )
+            distribution = nested.compose_independent(
+                outer_op, distributions
+            )
+        except EvaluationError:
+            return None  # support blow-up or similar: fall back
+        answer = DistributionAnswer(distribution)
+        if aggregate_semantics is AggregateSemantics.DISTRIBUTION:
+            return answer
+        return answer.to_expected_value()
+
+    def _nested_by_tuple_range(
+        self, request: EvaluationRequest
+    ) -> RangeAnswer:
+        query = request.query
+        assert isinstance(query.source, SubquerySource)
+        inner = query.source.query
+        if query.aggregate.distinct:
+            raise UnsupportedQueryError(
+                "DISTINCT on the outer aggregate of a nested by-tuple range "
+                "query is not supported"
+            )
+        inner_spec = self.planner.algorithm_for(
+            inner.aggregate.op,
+            MappingSemantics.BY_TUPLE,
+            AggregateSemantics.RANGE,
+        )
+        inner_request = self._request(
+            request.table, request.pmapping, inner, None, None, None
+        )
+        inner_answer = inner_spec.run(inner_request)
+        if isinstance(inner_answer, GroupedAnswer):
+            ranges = [r for _, r in inner_answer]
+        else:
+            ranges = [inner_answer]
+        defined = [r for r in ranges if isinstance(r, RangeAnswer) and r.is_defined]
+        if not defined:
+            return RangeAnswer(None, None)
+        low = apply_aggregate(query.aggregate.op, [r.low for r in defined])
+        high = apply_aggregate(query.aggregate.op, [r.high for r in defined])
+        return RangeAnswer(low, high)
+
+
+def _nested_fallback(
+    planner: Planner, aggregate_semantics: AggregateSemantics
+) -> AlgorithmSpec:
+    """Naive or sampling spec for nested by-tuple distribution/expected."""
+    from repro.core.planner import _naive_spec, _sampling_spec
+
+    if planner.allow_exponential:
+        return _naive_spec(aggregate_semantics)
+    if planner.allow_sampling:
+        return _sampling_spec(aggregate_semantics)
+    raise IntractableError(
+        "nested by-tuple queries under the distribution/expected value "
+        "semantics require allow_exponential=True or allow_sampling=True"
+    )

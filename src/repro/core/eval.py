@@ -1,0 +1,172 @@
+"""Deterministic ("certain") evaluation of aggregate queries over tables.
+
+Once a query has been reformulated under one concrete mapping, answering it
+is ordinary SQL evaluation.  This module is the in-memory counterpart of the
+SQLite backend: it evaluates an :class:`~repro.sql.ast.AggregateQuery`
+(possibly with GROUP BY, possibly one level of nesting) directly over
+:class:`~repro.storage.table.Table` instances.  Both substrates must agree —
+that is one of the library's tested invariants.
+
+SQL NULL semantics are honoured: aggregates other than COUNT(*) ignore NULL
+inputs; SUM/AVG/MIN/MAX over no (non-NULL) inputs return ``None``;
+``COUNT`` returns 0.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+from repro.exceptions import EvaluationError, StorageError, UnsupportedQueryError
+from repro.sql.ast import AggregateOp, AggregateQuery, SubquerySource
+from repro.sql.conditions import compile_condition
+from repro.storage.table import Table
+
+
+def apply_aggregate(
+    op: AggregateOp,
+    values: Iterable[object],
+    *,
+    distinct: bool = False,
+    count_star: int | None = None,
+) -> float | None:
+    """Apply one aggregate operator to a stream of values.
+
+    ``values`` are the (possibly NULL) argument values of qualifying rows;
+    NULLs are dropped, per SQL.  For ``COUNT(*)`` pass the row count via
+    ``count_star`` and leave ``values`` empty.
+    """
+    if count_star is not None:
+        if op is not AggregateOp.COUNT:
+            raise EvaluationError("count_star only applies to COUNT")
+        return count_star
+    collected = [v for v in values if v is not None]
+    if distinct:
+        seen: dict[object, None] = {}
+        for value in collected:
+            seen.setdefault(value, None)
+        collected = list(seen)
+    if op is AggregateOp.COUNT:
+        return len(collected)
+    if not collected:
+        return None
+    if op is AggregateOp.SUM:
+        return math.fsum(collected) if any(
+            isinstance(v, float) for v in collected
+        ) else sum(collected)
+    if op is AggregateOp.AVG:
+        return math.fsum(collected) / len(collected)
+    if op is AggregateOp.MIN:
+        return min(collected)
+    if op is AggregateOp.MAX:
+        return max(collected)
+    raise EvaluationError(f"unknown aggregate operator {op!r}")
+
+
+def evaluate_certain(
+    query: AggregateQuery, tables: Mapping[str, Table]
+) -> float | None | dict[object, float | None]:
+    """Evaluate a fully-reformulated query over concrete tables.
+
+    Returns a scalar for plain queries, or a ``{group_key: value}`` dict for
+    GROUP BY queries.  A nested query (subquery in FROM) returns the outer
+    scalar; the outer level may not carry WHERE or GROUP BY (the paper's Q2
+    shape).
+
+    Examples
+    --------
+    >>> evaluate_certain(parse_query("SELECT COUNT(*) FROM S1"),
+    ...                  {"S1": table})                   # doctest: +SKIP
+    4
+    """
+    source = query.source
+    if isinstance(source, SubquerySource):
+        if query.where is not None or query.group_by is not None:
+            raise UnsupportedQueryError(
+                "WHERE/GROUP BY on the outer query of a nested aggregate "
+                "is not supported"
+            )
+        if isinstance(source.query.source, SubquerySource):
+            raise UnsupportedQueryError(
+                "queries nested more than one level are not supported"
+            )
+        inner = evaluate_certain(source.query, tables)
+        if isinstance(inner, dict):
+            inner_values: list[float | None] = list(inner.values())
+        else:
+            inner_values = [inner]
+        # The subquery exposes its aggregate under whatever name the outer
+        # query uses (the paper's Q2 writes AVG(R1.price) over an inner
+        # MAX); there is exactly one column, so this is unambiguous.
+        return apply_aggregate(
+            query.aggregate.op, inner_values, distinct=query.aggregate.distinct
+        )
+
+    try:
+        table = tables[source.name]
+    except KeyError:
+        raise StorageError(f"unknown relation {source.name!r} in query") from None
+    relation = table.relation
+    binding = source.binding_name
+    predicate = compile_condition(query.where, relation, binding)
+
+    argument = query.aggregate.argument
+    if argument is not None:
+        if argument.qualifier is not None and argument.qualifier != binding:
+            raise EvaluationError(
+                f"column qualifier {argument.qualifier!r} does not match the "
+                f"FROM binding {binding!r}"
+            )
+        argument_index = relation.index_of(argument.name)
+    else:
+        argument_index = None
+
+    if query.group_by is None:
+        return _aggregate_rows(query, table, predicate, argument_index)
+
+    group_ref = query.group_by
+    if group_ref.qualifier is not None and group_ref.qualifier != binding:
+        raise EvaluationError(
+            f"column qualifier {group_ref.qualifier!r} does not match the "
+            f"FROM binding {binding!r}"
+        )
+    group_index = relation.index_of(group_ref.name)
+    groups: dict[object, list[tuple]] = {}
+    for row in table.iter_rows():
+        if predicate(row):
+            groups.setdefault(row.as_tuple()[group_index], []).append(
+                row.as_tuple()
+            )
+    result: dict[object, float | None] = {}
+    for key, rows in groups.items():
+        if argument_index is None:
+            result[key] = apply_aggregate(
+                query.aggregate.op, (), count_star=len(rows)
+            )
+        else:
+            result[key] = apply_aggregate(
+                query.aggregate.op,
+                (values[argument_index] for values in rows),
+                distinct=query.aggregate.distinct,
+            )
+    return result
+
+
+def _aggregate_rows(
+    query: AggregateQuery,
+    table: Table,
+    predicate,
+    argument_index: int | None,
+) -> float | None:
+    if argument_index is None:
+        count = sum(1 for row in table.iter_rows() if predicate(row))
+        return apply_aggregate(query.aggregate.op, (), count_star=count)
+    return apply_aggregate(
+        query.aggregate.op,
+        (
+            row.as_tuple()[argument_index]
+            for row in table.iter_rows()
+            if predicate(row)
+        ),
+        distinct=query.aggregate.distinct,
+    )

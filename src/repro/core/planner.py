@@ -1,0 +1,346 @@
+"""Algorithm selection and the paper's Figure 6 complexity matrix.
+
+The planner maps a semantics *cell* — ``(aggregate operator, mapping
+semantics, aggregate semantics)`` — to the algorithm that answers it, and
+knows each cell's complexity class:
+
+* every by-table cell is PTIME (the generic Figure 1 algorithm);
+* by-tuple COUNT is PTIME under all three aggregate semantics
+  (Figures 2-3);
+* by-tuple SUM is PTIME under range (Figure 4) and expected value
+  (Theorem 4), open under distribution;
+* by-tuple AVG/MIN/MAX are PTIME under range only.
+
+For the open cells the planner offers the naive exponential enumeration,
+Monte-Carlo sampling, and — for MIN/MAX — the exact polynomial extension
+of :mod:`repro.core.extensions` (disabled in strict paper-faithful mode).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core import bytable, bytuple_avg, bytuple_count, bytuple_minmax, bytuple_sum
+from repro.core import extensions, naive, sampling
+from repro.core.answers import AggregateAnswer
+from repro.core.semantics import AggregateSemantics, MappingSemantics
+from repro.exceptions import EvaluationError, IntractableError
+from repro.schema.mapping import PMapping
+from repro.sql.ast import AggregateOp, AggregateQuery
+from repro.storage.table import Table
+
+
+class Complexity:
+    """Complexity class labels for the Figure 6 matrix."""
+
+    PTIME = "PTIME"
+    OPEN = "?"  # the paper's notation for "no PTIME algorithm known"
+
+
+#: Cell key: (aggregate operator, mapping semantics, aggregate semantics).
+Cell = tuple[AggregateOp, MappingSemantics, AggregateSemantics]
+
+
+def complexity_matrix() -> dict[Cell, str]:
+    """The full Figure 6 matrix as a dictionary over all 30 cells."""
+    matrix: dict[Cell, str] = {}
+    for op in AggregateOp:
+        for aggregate_semantics in AggregateSemantics:
+            matrix[(op, MappingSemantics.BY_TABLE, aggregate_semantics)] = (
+                Complexity.PTIME
+            )
+    for op in AggregateOp:
+        for aggregate_semantics in AggregateSemantics:
+            cell = (op, MappingSemantics.BY_TUPLE, aggregate_semantics)
+            if op is AggregateOp.COUNT:
+                matrix[cell] = Complexity.PTIME
+            elif op is AggregateOp.SUM:
+                matrix[cell] = (
+                    Complexity.OPEN
+                    if aggregate_semantics is AggregateSemantics.DISTRIBUTION
+                    else Complexity.PTIME
+                )
+            else:  # AVG, MIN, MAX
+                matrix[cell] = (
+                    Complexity.PTIME
+                    if aggregate_semantics is AggregateSemantics.RANGE
+                    else Complexity.OPEN
+                )
+    return matrix
+
+
+def format_complexity_matrix() -> str:
+    """A text rendering of Figure 6 (used by the benchmark harness)."""
+    matrix = complexity_matrix()
+    lines = []
+    header = f"{'operator':<10}{'semantics':<10}" + "".join(
+        f"{s.value:>16}" for s in AggregateSemantics
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for op in AggregateOp:
+        for mapping_semantics in MappingSemantics:
+            cells = "".join(
+                f"{matrix[(op, mapping_semantics, s)]:>16}"
+                for s in AggregateSemantics
+            )
+            lines.append(f"{op.value:<10}{mapping_semantics.value:<10}{cells}")
+    return "\n".join(lines)
+
+
+class EvaluationRequest:
+    """Everything an algorithm needs to answer one query.
+
+    ``executor`` answers certain (reformulated) queries for the by-table
+    path — see :func:`repro.core.bytable.memory_executor` /
+    :func:`repro.core.bytable.sqlite_executor`.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        pmapping: PMapping,
+        query: AggregateQuery,
+        executor: bytable.CertainExecutor,
+        *,
+        samples: int = sampling.DEFAULT_SAMPLES,
+        seed: int | None = None,
+        max_sequences: int = naive.DEFAULT_MAX_SEQUENCES,
+    ) -> None:
+        self.table = table
+        self.pmapping = pmapping
+        self.query = query
+        self.executor = executor
+        self.samples = samples
+        self.seed = seed
+        self.max_sequences = max_sequences
+
+
+class AlgorithmSpec:
+    """A named algorithm bound to a semantics cell."""
+
+    __slots__ = ("name", "complexity", "exact", "run", "paper_reference")
+
+    def __init__(
+        self,
+        name: str,
+        complexity: str,
+        run: Callable[[EvaluationRequest], AggregateAnswer],
+        *,
+        exact: bool = True,
+        paper_reference: str = "",
+    ) -> None:
+        self.name = name
+        self.complexity = complexity
+        self.run = run
+        self.exact = exact
+        self.paper_reference = paper_reference
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.exact else "approximate"
+        return f"AlgorithmSpec({self.name}, {self.complexity}, {kind})"
+
+
+def _by_table_spec(aggregate_semantics: AggregateSemantics) -> AlgorithmSpec:
+    def run(request: EvaluationRequest) -> AggregateAnswer:
+        return bytable.by_table_answer(
+            request.query, request.pmapping, request.executor, aggregate_semantics
+        )
+
+    return AlgorithmSpec(
+        "ByTableAggregateQuery",
+        Complexity.PTIME,
+        run,
+        paper_reference="Figure 1",
+    )
+
+
+def _naive_spec(aggregate_semantics: AggregateSemantics) -> AlgorithmSpec:
+    def run(request: EvaluationRequest) -> AggregateAnswer:
+        return naive.naive_by_tuple_answer(
+            request.table,
+            request.pmapping,
+            request.query,
+            aggregate_semantics,
+            max_sequences=request.max_sequences,
+        )
+
+    return AlgorithmSpec(
+        "NaiveSequenceEnumeration",
+        Complexity.OPEN,
+        run,
+        paper_reference="Section IV-B (generic algorithm)",
+    )
+
+
+def _sampling_spec(aggregate_semantics: AggregateSemantics) -> AlgorithmSpec:
+    def run(request: EvaluationRequest) -> AggregateAnswer:
+        return sampling.sample_by_tuple(
+            request.table,
+            request.pmapping,
+            request.query,
+            aggregate_semantics,
+            samples=request.samples,
+            seed=request.seed,
+        )
+
+    return AlgorithmSpec(
+        "MonteCarloSampling",
+        Complexity.PTIME,
+        run,
+        exact=False,
+        paper_reference="Section VII (future work)",
+    )
+
+
+_PTIME_BY_TUPLE: dict[tuple[AggregateOp, AggregateSemantics], AlgorithmSpec] = {}
+
+
+def _register_ptime_by_tuple() -> None:
+    def spec(name, fn, reference):
+        def run(request: EvaluationRequest) -> AggregateAnswer:
+            return fn(request.table, request.pmapping, request.query)
+
+        return AlgorithmSpec(name, Complexity.PTIME, run, paper_reference=reference)
+
+    _PTIME_BY_TUPLE[(AggregateOp.COUNT, AggregateSemantics.RANGE)] = spec(
+        "ByTupleRangeCOUNT", bytuple_count.by_tuple_range_count, "Figure 2"
+    )
+    _PTIME_BY_TUPLE[(AggregateOp.COUNT, AggregateSemantics.DISTRIBUTION)] = spec(
+        "ByTuplePDCOUNT", bytuple_count.by_tuple_distribution_count, "Figure 3"
+    )
+    _PTIME_BY_TUPLE[(AggregateOp.COUNT, AggregateSemantics.EXPECTED_VALUE)] = spec(
+        "ByTupleExpValCOUNT",
+        bytuple_count.by_tuple_expected_count,
+        "Section IV-B (from Figure 3)",
+    )
+    _PTIME_BY_TUPLE[(AggregateOp.SUM, AggregateSemantics.RANGE)] = spec(
+        "ByTupleRangeSUM", bytuple_sum.by_tuple_range_sum, "Figure 4"
+    )
+    _PTIME_BY_TUPLE[(AggregateOp.AVG, AggregateSemantics.RANGE)] = spec(
+        "ByTupleRangeAVG", bytuple_avg.by_tuple_range_avg, "Section IV-B"
+    )
+    _PTIME_BY_TUPLE[(AggregateOp.MAX, AggregateSemantics.RANGE)] = spec(
+        "ByTupleRangeMAX", bytuple_minmax.by_tuple_range_max, "Figure 5"
+    )
+    _PTIME_BY_TUPLE[(AggregateOp.MIN, AggregateSemantics.RANGE)] = spec(
+        "ByTupleRangeMIN", bytuple_minmax.by_tuple_range_min, "Section IV-B"
+    )
+
+
+_register_ptime_by_tuple()
+
+
+def _expected_sum_spec() -> AlgorithmSpec:
+    def run(request: EvaluationRequest) -> AggregateAnswer:
+        return bytuple_sum.by_tuple_expected_sum(
+            request.table,
+            request.pmapping,
+            request.query,
+            method="exact",
+        )
+
+    return AlgorithmSpec(
+        "ByTupleExpValSUM",
+        Complexity.PTIME,
+        run,
+        paper_reference="Theorem 4 (conditional-exact linear form)",
+    )
+
+
+def _extension_minmax_spec(
+    op: AggregateOp, aggregate_semantics: AggregateSemantics
+) -> AlgorithmSpec:
+    def run(request: EvaluationRequest) -> AggregateAnswer:
+        return extensions.by_tuple_extreme_answer(
+            request.table,
+            request.pmapping,
+            request.query,
+            aggregate_semantics,
+            maximize=op is AggregateOp.MAX,
+        )
+
+    return AlgorithmSpec(
+        f"ByTupleExact{op.value}Distribution",
+        Complexity.PTIME,
+        run,
+        paper_reference="extension beyond the paper (order statistics)",
+    )
+
+
+class Planner:
+    """Chooses the algorithm for a semantics cell.
+
+    Parameters
+    ----------
+    allow_exponential:
+        Permit the naive sequence enumeration for cells without a PTIME
+        algorithm (guarded by the request's ``max_sequences``).
+    allow_sampling:
+        Permit Monte-Carlo estimation for those cells when exponential
+        enumeration is not allowed or not requested.
+    use_extensions:
+        Use the exact polynomial MIN/MAX distribution algorithms that go
+        beyond the paper.  Off by default so the default planner exactly
+        matches Figure 6.
+    """
+
+    def __init__(
+        self,
+        *,
+        allow_exponential: bool = False,
+        allow_sampling: bool = False,
+        use_extensions: bool = False,
+    ) -> None:
+        self.allow_exponential = allow_exponential
+        self.allow_sampling = allow_sampling
+        self.use_extensions = use_extensions
+
+    def algorithm_for(
+        self,
+        op: AggregateOp,
+        mapping_semantics: MappingSemantics,
+        aggregate_semantics: AggregateSemantics,
+    ) -> AlgorithmSpec:
+        """The algorithm answering this cell, honouring the planner's policy.
+
+        Raises
+        ------
+        IntractableError
+            For an open cell when neither the exponential fallback nor
+            sampling (nor an applicable extension) is allowed.
+        """
+        if mapping_semantics is MappingSemantics.BY_TABLE:
+            return _by_table_spec(aggregate_semantics)
+        key = (op, aggregate_semantics)
+        if key in _PTIME_BY_TUPLE:
+            return _PTIME_BY_TUPLE[key]
+        if key == (AggregateOp.SUM, AggregateSemantics.EXPECTED_VALUE):
+            return _expected_sum_spec()
+        if self.use_extensions and op in (AggregateOp.MIN, AggregateOp.MAX):
+            return _extension_minmax_spec(op, aggregate_semantics)
+        if self.allow_exponential:
+            return _naive_spec(aggregate_semantics)
+        if self.allow_sampling:
+            return _sampling_spec(aggregate_semantics)
+        raise IntractableError(
+            f"no PTIME algorithm for {op.value} under "
+            f"{mapping_semantics.value}/{aggregate_semantics.value} semantics "
+            "(paper Figure 6); retry with allow_exponential=True, "
+            "allow_sampling=True, or use_extensions=True (MIN/MAX only)"
+        )
+
+    def complexity_of(
+        self,
+        op: AggregateOp,
+        mapping_semantics: MappingSemantics,
+        aggregate_semantics: AggregateSemantics,
+    ) -> str:
+        """The Figure 6 complexity label of a cell."""
+        try:
+            return complexity_matrix()[(op, mapping_semantics, aggregate_semantics)]
+        except KeyError:
+            raise EvaluationError(
+                f"unknown semantics cell ({op}, {mapping_semantics}, "
+                f"{aggregate_semantics})"
+            ) from None

@@ -1,0 +1,34 @@
+"""The two semantics dimensions of the paper (Section III).
+
+A query-answering semantics is a *cell* in the 2x3 grid:
+
+* :class:`MappingSemantics` — how the probabilistic mapping is applied:
+  one mapping for the whole table (**by-table**) or an independent choice
+  per tuple (**by-tuple**);
+* :class:`AggregateSemantics` — what kind of answer is returned:
+  an interval (**range**), a full probability distribution
+  (**distribution**), or a single number (**expected value**).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.sql.ast import AggregateOp
+
+__all__ = ["AggregateOp", "AggregateSemantics", "MappingSemantics"]
+
+
+class MappingSemantics(enum.Enum):
+    """How a probabilistic mapping is interpreted (paper Section III-A)."""
+
+    BY_TABLE = "by-table"
+    BY_TUPLE = "by-tuple"
+
+
+class AggregateSemantics(enum.Enum):
+    """The form of the aggregate answer (paper Section III-B)."""
+
+    RANGE = "range"
+    DISTRIBUTION = "distribution"
+    EXPECTED_VALUE = "expected-value"

@@ -1,0 +1,374 @@
+"""Single-pass, bounded-memory by-tuple aggregation over tuple streams.
+
+Every PTIME by-tuple algorithm of the paper folds the tuples left to right
+— a property the related work it cites (Jayram et al., SODA'07) exploits
+for I/O-efficient aggregation.  This module exposes that structure as
+*accumulators*: feed source rows one at a time (e.g. from
+:func:`repro.storage.csv_io.iter_csv_rows`) and read the answer at the
+end, without ever materializing the relation.
+
+======================================  =================  ===============
+accumulator                             answer             extra memory
+======================================  =================  ===============
+:class:`RangeCountAccumulator`          by-tuple range     O(1)
+:class:`RangeSumAccumulator`            by-tuple range     O(1)
+:class:`RangeMinMaxAccumulator`         by-tuple range     O(1)
+:class:`RangeAvgAccumulator`            by-tuple range     O(#optional)
+:class:`ExpectedCountAccumulator`       expected value     O(1)
+:class:`ExpectedSumAccumulator`         expected value     O(1)
+:class:`DistributionCountAccumulator`   distribution       O(#qualifying)
+======================================  =================  ===============
+
+(``#optional`` counts tuples that qualify under only some mappings — the
+tight AVG bounds need their candidate values; ``#qualifying`` is the COUNT
+distribution's support, inherent to the answer itself.)
+
+Use :func:`answer_stream` for the common case::
+
+    rows = iter_csv_rows(S1_RELATION, "listings.csv")
+    answer = answer_stream(rows, S1_RELATION, pmapping, query,
+                           RangeCountAccumulator)
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.core.answers import (
+    AggregateAnswer,
+    DistributionAnswer,
+    ExpectedValueAnswer,
+    GroupedAnswer,
+    RangeAnswer,
+)
+from repro.core.bytuple_avg import _greedy_extreme_mean
+from repro.core.bytuple_count import count_distribution_dp
+from repro.core.common import PreparedTupleQuery
+from repro.exceptions import UnsupportedQueryError
+from repro.schema.mapping import PMapping
+from repro.schema.model import Relation
+from repro.sql.ast import AggregateQuery
+from repro.storage.table import Table
+
+
+class TupleStream:
+    """Compiles a query/p-mapping pair into a per-row vectorizer.
+
+    Reuses :class:`~repro.core.common.PreparedTupleQuery`'s compiled
+    predicates over an empty table, so a stream costs the same compilation
+    work as a materialized run.
+    """
+
+    def __init__(
+        self, relation: Relation, pmapping: PMapping, query: AggregateQuery
+    ) -> None:
+        if query.group_by is not None:
+            raise UnsupportedQueryError(
+                "wrap a grouped stream in GroupedAccumulator instead"
+            )
+        self._prepared = PreparedTupleQuery(
+            Table.from_prepared_rows(relation, []), pmapping, query
+        )
+        self.mapping_count = len(pmapping)
+
+    @property
+    def probabilities(self) -> list[float]:
+        """The candidate mappings' probabilities."""
+        return self._prepared.probabilities
+
+    def vector(self, values: tuple) -> tuple:
+        """The contribution vector of one raw source row."""
+        return tuple(
+            self._prepared.contribution(values, j)
+            for j in range(self.mapping_count)
+        )
+
+
+class Accumulator:
+    """Base class: consume contribution vectors, produce an answer."""
+
+    def __init__(self, stream: TupleStream) -> None:
+        self.stream = stream
+
+    def add(self, vector: tuple) -> None:
+        raise NotImplementedError
+
+    def add_row(self, values: tuple) -> None:
+        """Convenience: vectorize one raw row and fold it in."""
+        self.add(self.stream.vector(values))
+
+    def result(self) -> AggregateAnswer:
+        raise NotImplementedError
+
+
+class RangeCountAccumulator(Accumulator):
+    """Streaming ByTupleRangeCOUNT (Figure 2 is already one-pass)."""
+
+    def __init__(self, stream: TupleStream) -> None:
+        super().__init__(stream)
+        self.low = 0
+        self.up = 0
+
+    def add(self, vector: tuple) -> None:
+        participating = sum(1 for c in vector if c is not None)
+        if participating == len(vector):
+            self.low += 1
+            self.up += 1
+        elif participating > 0:
+            self.up += 1
+
+    def result(self) -> RangeAnswer:
+        return RangeAnswer(self.low, self.up)
+
+
+class RangeSumAccumulator(Accumulator):
+    """Streaming tight ByTupleRangeSUM (Figure 4)."""
+
+    def __init__(self, stream: TupleStream) -> None:
+        super().__init__(stream)
+        self.low = 0.0
+        self.up = 0.0
+        self.any_satisfiable = False
+        self.low_world_nonempty = False
+        self.up_world_nonempty = False
+        self.best_single_min = math.inf
+        self.best_single_max = -math.inf
+
+    def add(self, vector: tuple) -> None:
+        satisfying = [c for c in vector if c is not None]
+        if not satisfying:
+            return
+        self.any_satisfiable = True
+        vmin = min(satisfying)
+        vmax = max(satisfying)
+        self.best_single_min = min(self.best_single_min, vmin)
+        self.best_single_max = max(self.best_single_max, vmax)
+        if len(satisfying) == len(vector):
+            self.low += vmin
+            self.up += vmax
+            self.low_world_nonempty = True
+            self.up_world_nonempty = True
+        else:
+            low_contribution = min(0.0, vmin)
+            up_contribution = max(0.0, vmax)
+            self.low += low_contribution
+            self.up += up_contribution
+            if low_contribution < 0.0:
+                self.low_world_nonempty = True
+            if up_contribution > 0.0:
+                self.up_world_nonempty = True
+
+    def result(self) -> RangeAnswer:
+        if not self.any_satisfiable:
+            return RangeAnswer(None, None)
+        low = self.low if self.low_world_nonempty else self.best_single_min
+        up = self.up if self.up_world_nonempty else self.best_single_max
+        return RangeAnswer(low, up)
+
+
+class RangeMinMaxAccumulator(Accumulator):
+    """Streaming tight ByTupleRangeMAX / ByTupleRangeMIN (Figure 5)."""
+
+    def __init__(self, stream: TupleStream, *, maximize: bool = True) -> None:
+        super().__init__(stream)
+        self.maximize = maximize
+        self.any_satisfiable = False
+        self.has_forced = False
+        self.forced_inner = -math.inf if maximize else math.inf
+        self.any_inner = math.inf if maximize else -math.inf
+        self.outer = -math.inf if maximize else math.inf
+
+    def add(self, vector: tuple) -> None:
+        satisfying = [c for c in vector if c is not None]
+        if not satisfying:
+            return
+        self.any_satisfiable = True
+        vmin = min(satisfying)
+        vmax = max(satisfying)
+        forced = len(satisfying) == len(vector)
+        if self.maximize:
+            self.outer = max(self.outer, vmax)
+            self.any_inner = min(self.any_inner, vmin)
+            if forced:
+                self.has_forced = True
+                self.forced_inner = max(self.forced_inner, vmin)
+        else:
+            self.outer = min(self.outer, vmin)
+            self.any_inner = max(self.any_inner, vmax)
+            if forced:
+                self.has_forced = True
+                self.forced_inner = min(self.forced_inner, vmax)
+
+    def result(self) -> RangeAnswer:
+        if not self.any_satisfiable:
+            return RangeAnswer(None, None)
+        inner = self.forced_inner if self.has_forced else self.any_inner
+        if self.maximize:
+            return RangeAnswer(inner, self.outer)
+        return RangeAnswer(self.outer, inner)
+
+
+class RangeAvgAccumulator(Accumulator):
+    """Streaming tight ByTupleRangeAVG.
+
+    Forced tuples fold into running sums; optional tuples' extreme values
+    must be retained for the final greedy (O(#optional) memory).
+    """
+
+    def __init__(self, stream: TupleStream) -> None:
+        super().__init__(stream)
+        self.forced_min_total = 0.0
+        self.forced_max_total = 0.0
+        self.forced_count = 0
+        self.optional_min: list[float] = []
+        self.optional_max: list[float] = []
+
+    def add(self, vector: tuple) -> None:
+        satisfying = [c for c in vector if c is not None]
+        if not satisfying:
+            return
+        if len(satisfying) == len(vector):
+            self.forced_min_total += min(satisfying)
+            self.forced_max_total += max(satisfying)
+            self.forced_count += 1
+        else:
+            self.optional_min.append(min(satisfying))
+            self.optional_max.append(max(satisfying))
+
+    def result(self) -> RangeAnswer:
+        forced_min = (
+            [self.forced_min_total / self.forced_count] * self.forced_count
+            if self.forced_count
+            else []
+        )
+        forced_max = (
+            [self.forced_max_total / self.forced_count] * self.forced_count
+            if self.forced_count
+            else []
+        )
+        low = _greedy_extreme_mean(forced_min, self.optional_min, minimize=True)
+        high = _greedy_extreme_mean(forced_max, self.optional_max, minimize=False)
+        if low is None:
+            return RangeAnswer(None, None)
+        return RangeAnswer(low, high)
+
+
+class ExpectedCountAccumulator(Accumulator):
+    """Streaming expected COUNT (linearity of expectation, O(1) state)."""
+
+    def __init__(self, stream: TupleStream) -> None:
+        super().__init__(stream)
+        self.total = 0.0
+
+    def add(self, vector: tuple) -> None:
+        self.total += sum(
+            p
+            for p, contribution in zip(self.stream.probabilities, vector)
+            if contribution is not None
+        )
+
+    def result(self) -> ExpectedValueAnswer:
+        return ExpectedValueAnswer(self.total)
+
+
+class ExpectedSumAccumulator(Accumulator):
+    """Streaming conditional-exact expected SUM (O(1) state)."""
+
+    def __init__(self, stream: TupleStream) -> None:
+        super().__init__(stream)
+        self.total = 0.0
+        self.log_empty = 0.0
+        self.certain_empty_impossible = False
+        self.any_satisfiable = False
+
+    def add(self, vector: tuple) -> None:
+        occurrence = 0.0
+        for probability, contribution in zip(
+            self.stream.probabilities, vector
+        ):
+            if contribution is not None:
+                self.any_satisfiable = True
+                occurrence += probability
+                self.total += probability * contribution
+        if occurrence >= 1.0:
+            self.certain_empty_impossible = True
+        elif occurrence > 0.0:
+            self.log_empty += math.log1p(-occurrence)
+
+    def result(self) -> ExpectedValueAnswer:
+        if not self.any_satisfiable:
+            return ExpectedValueAnswer(None)
+        empty = 0.0 if self.certain_empty_impossible else math.exp(self.log_empty)
+        if empty >= 1.0:
+            return ExpectedValueAnswer(None)
+        return ExpectedValueAnswer(self.total / (1.0 - empty))
+
+
+class DistributionCountAccumulator(Accumulator):
+    """Streaming ByTuplePDCOUNT (the Figure 3 DP folds left to right)."""
+
+    def __init__(self, stream: TupleStream) -> None:
+        super().__init__(stream)
+        self.occurrences: list[float] = []
+
+    def add(self, vector: tuple) -> None:
+        occurrence = sum(
+            p
+            for p, contribution in zip(self.stream.probabilities, vector)
+            if contribution is not None
+        )
+        if occurrence > 0.0:
+            self.occurrences.append(occurrence)
+
+    def result(self) -> DistributionAnswer:
+        return DistributionAnswer(count_distribution_dp(self.occurrences))
+
+
+class GroupedAccumulator:
+    """Fan a stream out over GROUP BY groups, one accumulator per key.
+
+    The grouping attribute must be certain; pass its index in the source
+    relation (``relation.index_of(name)``).
+    """
+
+    def __init__(self, stream: TupleStream, group_index: int, factory) -> None:
+        self.stream = stream
+        self.group_index = group_index
+        self.factory = factory
+        self._groups: dict[object, Accumulator] = {}
+
+    def add_row(self, values: tuple) -> None:
+        key = values[self.group_index]
+        accumulator = self._groups.get(key)
+        if accumulator is None:
+            accumulator = self.factory(self.stream)
+            self._groups[key] = accumulator
+        accumulator.add(self.stream.vector(values))
+
+    def result(self) -> GroupedAnswer:
+        return GroupedAnswer(
+            {key: acc.result() for key, acc in self._groups.items()}
+        )
+
+
+def answer_stream(
+    rows: Iterable[tuple],
+    relation: Relation,
+    pmapping: PMapping,
+    query: AggregateQuery,
+    accumulator_factory,
+) -> AggregateAnswer:
+    """Fold a row stream through one accumulator and return its answer.
+
+    Examples
+    --------
+    >>> answer_stream(iter_csv_rows(S1, "big.csv"), S1, pm, q1,
+    ...               RangeCountAccumulator)               # doctest: +SKIP
+    RangeAnswer([31204, 96018])
+    """
+    stream = TupleStream(relation, pmapping, query)
+    accumulator = accumulator_factory(stream)
+    for values in rows:
+        accumulator.add_row(values)
+    return accumulator.result()

@@ -1,0 +1,14 @@
+"""Workload generators and the paper's running-example instances.
+
+* :mod:`repro.data.realestate` — Example 1 (schemas S1/T1, Table I, the
+  m11/m12 p-mapping, query Q1) plus a generator of synthetic listings;
+* :mod:`repro.data.ebay` — Example 2 (schemas S2/T2, Table II, the m21/m22
+  p-mapping, queries Q2 and Q2'), plus a second-price auction simulator
+  standing in for the paper's real eBay trace;
+* :mod:`repro.data.synthetic` — the Section V synthetic setup: random real
+  columns and randomly generated p-mappings over attribute subsets.
+"""
+
+from repro.data import ebay, realestate, synthetic
+
+__all__ = ["ebay", "realestate", "synthetic"]

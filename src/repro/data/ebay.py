@@ -1,0 +1,175 @@
+"""The paper's Example 2: eBay auctions with an uncertain price attribute.
+
+Source schema ``S2`` records second-price auction activity; the mediated
+schema ``T2`` has a ``price`` attribute that may correspond to ``bid``
+(mapping ``m21``, probability 0.3) or ``currentPrice`` (mapping ``m22``,
+probability 0.7).  ``transactionID`` → ``transaction``, ``auction`` →
+``auctionID`` and ``time`` → ``timeUpdate`` are known.
+
+:func:`paper_instance` is the exact Table II instance (two auctions, four
+bids each).  :func:`generate_auctions` is the substitute for the paper's
+real eBay trace (1,129 3-day laptop auctions, 155,688 bids — about 138
+bids per auction): a faithful second-price process where the listed
+``currentPrice`` trails the winning ``bid`` by one increment, preserving
+exactly the bid/currentPrice ambiguity the p-mapping models.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.schema.correspondence import AttributeCorrespondence
+from repro.schema.mapping import PMapping, RelationMapping
+from repro.schema.model import Attribute, AttributeType, Relation
+from repro.storage.table import Table
+
+#: Source schema S2 (paper Example 2).
+S2_RELATION = Relation(
+    "S2",
+    [
+        Attribute("transactionID", AttributeType.INT),
+        Attribute("auction", AttributeType.INT),
+        Attribute("time", AttributeType.REAL),
+        Attribute("bid", AttributeType.REAL),
+        Attribute("currentPrice", AttributeType.REAL),
+    ],
+)
+
+#: Mediated schema T2 (paper Example 2).
+T2_RELATION = Relation(
+    "T2",
+    [
+        Attribute("transaction", AttributeType.INT),
+        Attribute("auctionID", AttributeType.INT),
+        Attribute("timeUpdate", AttributeType.REAL),
+        Attribute("price", AttributeType.REAL),
+    ],
+)
+
+#: Query Q2 (paper Example 2): the average closing price of all auctions.
+Q2 = (
+    "SELECT AVG(R1.price) FROM "
+    "(SELECT MAX(DISTINCT R2.price) FROM T2 AS R2 GROUP BY R2.auctionID) AS R1"
+)
+
+#: Query Q2' (paper Section IV-B): total price over auction 34.
+Q2_PRIME = "SELECT SUM(price) FROM T2 WHERE auctionID = 34"
+
+#: The inner subquery of Q2 on its own (per-auction closing price).
+Q2_INNER = "SELECT MAX(DISTINCT price) FROM T2 GROUP BY auctionID"
+
+_KNOWN_CORRESPONDENCES = [
+    AttributeCorrespondence("transactionID", "transaction"),
+    AttributeCorrespondence("auction", "auctionID"),
+    AttributeCorrespondence("time", "timeUpdate"),
+]
+
+
+def mapping_m21() -> RelationMapping:
+    """Mapping m21: ``bid`` supplies ``price``."""
+    return RelationMapping(
+        S2_RELATION,
+        T2_RELATION,
+        _KNOWN_CORRESPONDENCES + [AttributeCorrespondence("bid", "price")],
+        name="m21",
+    )
+
+
+def mapping_m22() -> RelationMapping:
+    """Mapping m22: ``currentPrice`` supplies ``price``."""
+    return RelationMapping(
+        S2_RELATION,
+        T2_RELATION,
+        _KNOWN_CORRESPONDENCES + [AttributeCorrespondence("currentPrice", "price")],
+        name="m22",
+    )
+
+
+def paper_pmapping(p_bid: float = 0.3, p_current: float = 0.7) -> PMapping:
+    """The Example 2 p-mapping, by default ``P(m21)=0.3``, ``P(m22)=0.7``."""
+    return PMapping(
+        S2_RELATION,
+        T2_RELATION,
+        [(mapping_m21(), p_bid), (mapping_m22(), p_current)],
+    )
+
+
+def paper_instance() -> Table:
+    """The exact DS2 instance of the paper's Table II."""
+    return Table(
+        S2_RELATION,
+        [
+            (3401, 34, 0.43, 195.0, 195.0),
+            (3402, 34, 2.75, 200.0, 197.5),
+            (3403, 34, 2.80, 331.94, 202.5),
+            (3404, 34, 2.85, 349.99, 336.94),
+            (3801, 38, 1.16, 330.01, 300.0),
+            (3802, 38, 2.67, 429.95, 335.01),
+            (3803, 38, 2.68, 439.95, 336.30),
+            (3804, 38, 2.82, 340.5, 438.05),
+        ],
+    )
+
+
+def generate_auctions(
+    num_auctions: int,
+    *,
+    mean_bids: float = 138.0,
+    duration_days: float = 3.0,
+    seed: int = 0,
+    min_bids: int = 2,
+    increment: float = 2.5,
+) -> Table:
+    """Simulate ``num_auctions`` second-price (proxy-bidding) auctions.
+
+    Each auction draws a starting price from a lognormal around laptop
+    territory and a bid count around ``mean_bids`` (geometric-ish spread).
+    Proxy bidding is modelled the eBay way: the system tracks the highest
+    and second-highest proxy bids, and the *listed* ``currentPrice`` is the
+    second-highest bid plus one increment, capped at the highest bid — so
+    ``currentPrice`` systematically trails ``bid``, exactly the semantic
+    confusion the p-mapping captures.
+
+    Transaction ids follow the paper's convention (auction 34 has
+    transactions 3401, 3402, ...) widened to five digits per auction so the
+    heavy tail of the bid-count distribution cannot collide across
+    auctions.
+    """
+    rng = random.Random(seed)
+    rows: list[tuple] = []
+    for auction_number in range(1, num_auctions + 1):
+        auction_id = auction_number + 30  # paper-style ids: 34, 38, ...
+        start_price = round(rng.lognormvariate(5.3, 0.6), 2)
+        bid_count = max(min_bids, int(rng.expovariate(1.0 / mean_bids)) + 1)
+        times = sorted(
+            round(rng.uniform(0.0, duration_days), 4) for _ in range(bid_count)
+        )
+        highest = start_price
+        second = start_price
+        for sequence_number, time in enumerate(times, start=1):
+            # A new proxy bid must beat the listed price; bidders overshoot
+            # by a lognormal factor.
+            listed = min(highest, second + increment)
+            bid = round(listed + rng.lognormvariate(2.0, 1.0), 2)
+            if bid > highest:
+                second = highest
+                highest = bid
+            elif bid > second:
+                second = bid
+            listed_after = round(min(highest, second + increment), 2)
+            rows.append(
+                (
+                    auction_id * 100_000 + sequence_number,
+                    auction_id,
+                    time,
+                    bid,
+                    listed_after,
+                )
+            )
+    return Table(S2_RELATION, rows)
+
+
+def auction_prefix(table: Table, num_tuples: int) -> Table:
+    """The first ``num_tuples`` rows — the paper's Figure 7 grows the input
+    auction by auction, which a prefix of the bid stream reproduces."""
+    return table.head(num_tuples)

@@ -1,0 +1,137 @@
+"""The paper's Example 1: real-estate listings with an uncertain date.
+
+Source schema ``S1`` holds properties for sale; the mediated schema ``T1``
+has a single ``date`` attribute that may correspond to either
+``postedDate`` (mapping ``m11``, probability 0.6) or ``reducedDate``
+(mapping ``m12``, probability 0.4).  The other correspondences (``ID`` →
+``propertyID``, ``price`` → ``listPrice``, ``agentPhone`` → ``phone``) are
+known, and nothing maps to ``comments``.
+
+:func:`paper_instance` returns the exact Table I instance;
+:func:`generate_listings` produces arbitrarily large synthetic instances of
+the same shape.
+
+Note: the paper's Table III reports the by-table answers to Q1 as
+``3 (prob 0.6), 2 (prob 0.4)``, but on its own Table I instance the
+``reducedDate`` reformulation matches only one row (1/10/2008); the answer
+consistent with the instance — and with the paper's own by-tuple numbers —
+is ``3 (0.6), 1 (0.4)``.  EXPERIMENTS.md discusses the discrepancy.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.schema.correspondence import AttributeCorrespondence
+from repro.schema.mapping import PMapping, RelationMapping
+from repro.schema.model import Attribute, AttributeType, Relation
+from repro.storage.table import Table
+
+#: Source schema S1 (paper Example 1).
+S1_RELATION = Relation(
+    "S1",
+    [
+        Attribute("ID", AttributeType.INT),
+        Attribute("price", AttributeType.REAL),
+        Attribute("agentPhone", AttributeType.TEXT),
+        Attribute("postedDate", AttributeType.DATE),
+        Attribute("reducedDate", AttributeType.DATE),
+    ],
+)
+
+#: Mediated schema T1 (paper Example 1).
+T1_RELATION = Relation(
+    "T1",
+    [
+        Attribute("propertyID", AttributeType.INT),
+        Attribute("listPrice", AttributeType.REAL),
+        Attribute("phone", AttributeType.TEXT),
+        Attribute("date", AttributeType.DATE),
+        Attribute("comments", AttributeType.TEXT),
+    ],
+)
+
+#: Query Q1 (paper Example 1): properties listed for more than a month as of
+#: February 20, 2008.
+Q1 = "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'"
+
+_KNOWN_CORRESPONDENCES = [
+    AttributeCorrespondence("ID", "propertyID"),
+    AttributeCorrespondence("price", "listPrice"),
+    AttributeCorrespondence("agentPhone", "phone"),
+]
+
+
+def mapping_m11() -> RelationMapping:
+    """Mapping m11: ``postedDate`` supplies ``date``."""
+    return RelationMapping(
+        S1_RELATION,
+        T1_RELATION,
+        _KNOWN_CORRESPONDENCES + [AttributeCorrespondence("postedDate", "date")],
+        name="m11",
+    )
+
+
+def mapping_m12() -> RelationMapping:
+    """Mapping m12: ``reducedDate`` supplies ``date``."""
+    return RelationMapping(
+        S1_RELATION,
+        T1_RELATION,
+        _KNOWN_CORRESPONDENCES + [AttributeCorrespondence("reducedDate", "date")],
+        name="m12",
+    )
+
+
+def paper_pmapping(
+    p_posted: float = 0.6, p_reduced: float = 0.4
+) -> PMapping:
+    """The Example 1 p-mapping, by default ``P(m11)=0.6``, ``P(m12)=0.4``."""
+    return PMapping(
+        S1_RELATION,
+        T1_RELATION,
+        [(mapping_m11(), p_posted), (mapping_m12(), p_reduced)],
+    )
+
+
+def paper_instance() -> Table:
+    """The exact DS1 instance of the paper's Table I."""
+    return Table(
+        S1_RELATION,
+        [
+            (1, 100_000.0, "215", datetime.date(2008, 1, 5), datetime.date(2008, 1, 30)),
+            (2, 150_000.0, "342", datetime.date(2008, 1, 30), datetime.date(2008, 2, 15)),
+            (3, 200_000.0, "215", datetime.date(2008, 1, 1), datetime.date(2008, 1, 10)),
+            (4, 100_000.0, "337", datetime.date(2008, 1, 2), datetime.date(2008, 2, 1)),
+        ],
+    )
+
+
+def generate_listings(
+    num_listings: int,
+    *,
+    seed: int = 0,
+    start: datetime.date = datetime.date(2008, 1, 1),
+    posting_window_days: int = 60,
+    reduction_probability: float = 0.7,
+) -> Table:
+    """Generate a synthetic S1 instance of ``num_listings`` rows.
+
+    Prices follow a lognormal around a $250k median; each listing is posted
+    uniformly inside the posting window, and with ``reduction_probability``
+    its price is reduced 5-30 days after posting (otherwise the reduction
+    date falls outside any query window, mimicking listings that were never
+    reduced while keeping the column NOT NULL like the paper's instance).
+    """
+    rng = random.Random(seed)
+    rows = []
+    for listing_id in range(1, num_listings + 1):
+        price = round(rng.lognormvariate(12.43, 0.45), 2)
+        phone = f"{rng.randint(200, 999)}"
+        posted = start + datetime.timedelta(days=rng.randrange(posting_window_days))
+        if rng.random() < reduction_probability:
+            reduced = posted + datetime.timedelta(days=rng.randint(5, 30))
+        else:
+            reduced = start + datetime.timedelta(days=posting_window_days + 365)
+        rows.append((listing_id, price, phone, posted, reduced))
+    return Table(S1_RELATION, rows)

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure.  The subtypes mirror
+the major subsystems: schema/mapping validation, SQL parsing, query
+reformulation, storage, and the aggregate-answering engine.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """An invalid schema, relation, or attribute definition."""
+
+
+class MappingError(ReproError):
+    """An invalid schema mapping.
+
+    Raised when a mapping violates Definition 1 or 2 of the paper: a
+    correspondence references a missing attribute, a mapping is not
+    one-to-one, or a p-mapping's probabilities do not form a distribution.
+    """
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the approximate position of the failure to help users locate the
+    offending token.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class ReformulationError(ReproError):
+    """A query could not be rewritten under a given mapping.
+
+    Typically the query references a target attribute for which the mapping
+    has no correspondence.
+    """
+
+
+class StorageError(ReproError):
+    """A storage-layer failure (unknown table/column, type mismatch, ...)."""
+
+
+class EvaluationError(ReproError):
+    """An aggregate query could not be evaluated.
+
+    For example: AVG over zero qualifying tuples in a semantics that demands
+    a defined value, or an unsupported aggregate/semantics combination when
+    exponential fallbacks are disabled.
+    """
+
+
+class IntractableError(EvaluationError):
+    """The requested semantics cell has no PTIME algorithm.
+
+    Raised by the planner when the caller asked for an exact answer in one of
+    the cells the paper leaves open (e.g. by-tuple/distribution SUM) while
+    forbidding the exponential fallback.  The caller may retry with
+    ``allow_exponential=True`` or switch to the sampling estimator.
+    """
+
+
+class UnsupportedQueryError(ReproError):
+    """The query shape is outside the supported aggregate-SQL subset."""

@@ -1,0 +1,10 @@
+"""Finite discrete probability distributions.
+
+The distribution semantics of the paper represents an aggregate answer as a
+random variable with finite support.  :class:`~repro.prob.distribution.DiscreteDistribution`
+is the library-wide representation of such variables.
+"""
+
+from repro.prob.distribution import DiscreteDistribution
+
+__all__ = ["DiscreteDistribution"]

@@ -1,0 +1,253 @@
+"""Finite discrete probability distributions over numeric values.
+
+The distribution semantics (paper Section III-B, Equation 1) answers an
+aggregate query with a random variable of finite support: each possible
+aggregate value paired with the probability that it is the correct one.
+:class:`DiscreteDistribution` is that random variable.  It is immutable,
+hashable on its support, and offers the derived quantities the other two
+semantics need (Section III-B notes that range and expected value are
+projections of the distribution):
+
+* :meth:`DiscreteDistribution.expected_value` — Equation 2;
+* :attr:`DiscreteDistribution.support` — whose min/max give the range.
+
+Probabilities are validated to sum to 1 within a tolerance, since the
+algorithms build them from floating-point products.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.exceptions import EvaluationError
+
+#: Tolerance used when checking that probabilities sum to one.  The by-tuple
+#: dynamic programs multiply thousands of floats, so exact equality is not
+#: achievable; 1e-6 is far coarser than accumulated error yet tight enough to
+#: catch genuine mistakes (a dropped outcome contributes at least one full
+#: mapping probability).
+PROBABILITY_TOLERANCE = 1e-6
+
+
+class DiscreteDistribution:
+    """An immutable probability distribution with finite numeric support.
+
+    Parameters
+    ----------
+    outcomes:
+        Mapping from value to probability, or an iterable of
+        ``(value, probability)`` pairs.  Duplicate values are merged by
+        summing their probabilities (this implements Equation 1 of the
+        paper, which sums the probabilities of all mappings/sequences that
+        yield the same aggregate value).
+    normalize:
+        When true, rescale the probabilities to sum to exactly 1.  Used by
+        sampling estimators; the exact algorithms leave it off so that
+        validation can catch bugs.
+    check:
+        When true (default), verify that each probability lies in [0, 1]
+        and that the total is 1 within :data:`PROBABILITY_TOLERANCE`.
+
+    Examples
+    --------
+    >>> d = DiscreteDistribution({3: 0.6, 2: 0.4})
+    >>> d.expected_value()
+    2.6
+    >>> d.min(), d.max()
+    (2, 3)
+    >>> d.probability_of(3)
+    0.6
+    """
+
+    __slots__ = ("_outcomes",)
+
+    def __init__(
+        self,
+        outcomes: Mapping[float, float] | Iterable[tuple[float, float]],
+        *,
+        normalize: bool = False,
+        check: bool = True,
+    ) -> None:
+        merged: dict[float, float] = {}
+        items = outcomes.items() if isinstance(outcomes, Mapping) else outcomes
+        for value, probability in items:
+            merged[value] = merged.get(value, 0.0) + probability
+        # Outcomes with zero probability carry no information and would make
+        # support-based range answers wrong, so they are dropped.
+        merged = {v: p for v, p in merged.items() if p > 0.0}
+        if not merged:
+            raise EvaluationError("a distribution needs at least one outcome")
+        if normalize:
+            total = sum(merged.values())
+            merged = {v: p / total for v, p in merged.items()}
+        if check:
+            self._validate(merged)
+        self._outcomes: dict[float, float] = dict(sorted(merged.items()))
+
+    @staticmethod
+    def _validate(outcomes: Mapping[float, float]) -> None:
+        for value, probability in outcomes.items():
+            if not (-PROBABILITY_TOLERANCE <= probability <= 1 + PROBABILITY_TOLERANCE):
+                raise EvaluationError(
+                    f"probability of outcome {value!r} is {probability}, "
+                    "outside [0, 1]"
+                )
+        total = sum(outcomes.values())
+        if abs(total - 1.0) > PROBABILITY_TOLERANCE:
+            raise EvaluationError(
+                f"outcome probabilities sum to {total}, expected 1"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def point(cls, value: float) -> "DiscreteDistribution":
+        """The degenerate distribution concentrated on ``value``."""
+        return cls({value: 1.0})
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "DiscreteDistribution":
+        """The empirical distribution of ``samples`` (used by estimators)."""
+        counts: dict[float, int] = {}
+        n = 0
+        for sample in samples:
+            counts[sample] = counts.get(sample, 0) + 1
+            n += 1
+        if n == 0:
+            raise EvaluationError("cannot build a distribution from no samples")
+        return cls({value: count / n for value, count in counts.items()})
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def support(self) -> tuple[float, ...]:
+        """All values with non-zero probability, in increasing order."""
+        return tuple(self._outcomes)
+
+    def probability_of(self, value: float) -> float:
+        """P(X = value); zero for values outside the support."""
+        return self._outcomes.get(value, 0.0)
+
+    def items(self) -> Iterator[tuple[float, float]]:
+        """Iterate over ``(value, probability)`` pairs in value order."""
+        return iter(self._outcomes.items())
+
+    def as_dict(self) -> dict[float, float]:
+        """A copy of the outcome map."""
+        return dict(self._outcomes)
+
+    def min(self) -> float:
+        """Smallest value in the support."""
+        return next(iter(self._outcomes))
+
+    def max(self) -> float:
+        """Largest value in the support."""
+        return next(reversed(self._outcomes))
+
+    def expected_value(self) -> float:
+        """E[X] — Equation 2 of the paper."""
+        return math.fsum(v * p for v, p in self._outcomes.items())
+
+    def variance(self) -> float:
+        """Var[X] = E[X^2] - E[X]^2 (clamped at zero against rounding)."""
+        mean = self.expected_value()
+        second_moment = math.fsum(v * v * p for v, p in self._outcomes.items())
+        return max(0.0, second_moment - mean * mean)
+
+    def cdf(self, value: float) -> float:
+        """P(X <= value)."""
+        return math.fsum(p for v, p in self._outcomes.items() if v <= value)
+
+    def quantile(self, q: float) -> float:
+        """The smallest support value ``v`` with ``cdf(v) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise EvaluationError(f"quantile level must be in [0, 1], got {q}")
+        cumulative = 0.0
+        last = self.max()
+        for value, probability in self._outcomes.items():
+            cumulative += probability
+            if cumulative >= q - PROBABILITY_TOLERANCE:
+                return value
+        return last
+
+    # -- algebra -----------------------------------------------------------
+
+    def map(self, fn) -> "DiscreteDistribution":
+        """The distribution of ``fn(X)`` (merges colliding images)."""
+        return DiscreteDistribution(
+            ((fn(v), p) for v, p in self._outcomes.items()), check=False
+        )
+
+    def scale(self, factor: float) -> "DiscreteDistribution":
+        """The distribution of ``factor * X``."""
+        return self.map(lambda v: factor * v)
+
+    def shift(self, offset: float) -> "DiscreteDistribution":
+        """The distribution of ``X + offset``."""
+        return self.map(lambda v: v + offset)
+
+    def convolve(self, other: "DiscreteDistribution") -> "DiscreteDistribution":
+        """The distribution of ``X + Y`` for independent ``X``, ``Y``.
+
+        This is the elementary step of the naive by-tuple SUM distribution:
+        each tuple contributes an independent per-tuple value distribution,
+        and the aggregate is their sum.  Beware: the support may grow
+        multiplicatively — exactly the exponential blow-up the paper
+        describes for by-tuple/distribution SUM.
+        """
+        outcomes: dict[float, float] = {}
+        for v1, p1 in self._outcomes.items():
+            for v2, p2 in other._outcomes.items():
+                key = v1 + v2
+                outcomes[key] = outcomes.get(key, 0.0) + p1 * p2
+        return DiscreteDistribution(outcomes, check=False)
+
+    def mix(
+        self, other: "DiscreteDistribution", weight: float
+    ) -> "DiscreteDistribution":
+        """The mixture ``weight * X + (1 - weight) * Y`` (of measures)."""
+        if not 0.0 <= weight <= 1.0:
+            raise EvaluationError(f"mixture weight must be in [0, 1], got {weight}")
+        outcomes: dict[float, float] = {
+            v: p * weight for v, p in self._outcomes.items()
+        }
+        for v, p in other._outcomes.items():
+            outcomes[v] = outcomes.get(v, 0.0) + p * (1.0 - weight)
+        return DiscreteDistribution(outcomes, check=False)
+
+    # -- comparisons -------------------------------------------------------
+
+    def approx_equal(
+        self, other: "DiscreteDistribution", tolerance: float = 1e-9
+    ) -> bool:
+        """True when both supports match and probabilities agree pointwise.
+
+        Support values are compared exactly; use this only when both sides
+        were computed from the same underlying values (e.g. a PTIME
+        algorithm versus the naive enumeration on identical data).
+        """
+        if set(self._outcomes) != set(other._outcomes):
+            return False
+        return all(
+            abs(p - other._outcomes[v]) <= tolerance
+            for v, p in self._outcomes.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteDistribution):
+            return NotImplemented
+        return self._outcomes == other._outcomes
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._outcomes.items()))
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._outcomes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v!r}: {p:.6g}" for v, p in self._outcomes.items())
+        return f"DiscreteDistribution({{{inner}}})"

@@ -1,0 +1,34 @@
+"""Schema catalog and (probabilistic) schema mappings.
+
+This package models the paper's Definitions 1 and 2:
+
+* :class:`~repro.schema.model.Attribute`, :class:`~repro.schema.model.Relation`,
+  :class:`~repro.schema.model.Schema` — a small typed catalog;
+* :class:`~repro.schema.correspondence.AttributeCorrespondence` — a pair
+  ``(source_attribute, target_attribute)``;
+* :class:`~repro.schema.mapping.RelationMapping` — a one-to-one relation
+  mapping (Definition 1);
+* :class:`~repro.schema.mapping.PMapping` — a probabilistic mapping
+  (Definition 2): a set of distinct one-to-one mappings with probabilities
+  summing to one;
+* :class:`~repro.schema.mapping.SchemaPMapping` — at most one p-mapping per
+  relation pair.
+
+The :mod:`repro.schema.matcher` subpackage builds p-mappings automatically
+from schema and instance evidence (the upstream tool the paper assumes).
+"""
+
+from repro.schema.correspondence import AttributeCorrespondence
+from repro.schema.mapping import PMapping, RelationMapping, SchemaPMapping
+from repro.schema.model import Attribute, AttributeType, Relation, Schema
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "AttributeCorrespondence",
+    "PMapping",
+    "Relation",
+    "RelationMapping",
+    "Schema",
+    "SchemaPMapping",
+]

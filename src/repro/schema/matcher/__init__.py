@@ -1,0 +1,36 @@
+"""Automatic schema matching: the upstream producer of p-mappings.
+
+The paper "assume[s] a set of probabilistic schema matchings is given
+through an existing algorithm" (Section VI, citing top-K matchers).  This
+subpackage is that existing algorithm, built from scratch:
+
+* :mod:`~repro.schema.matcher.similarity` — attribute similarity from name
+  evidence (edit distance, trigrams, token overlap) and instance evidence
+  (value-distribution features);
+* :mod:`~repro.schema.matcher.hungarian` — an O(n^3) Hungarian solver for
+  the best one-to-one attribute assignment;
+* :mod:`~repro.schema.matcher.murty` — Murty's ranking algorithm for the
+  top-K assignments;
+* :mod:`~repro.schema.matcher.matcher` — :class:`SchemaMatcher`, which
+  turns the top-K scored assignments into a validated
+  :class:`~repro.schema.mapping.PMapping`.
+"""
+
+from repro.schema.matcher.hungarian import solve_assignment
+from repro.schema.matcher.matcher import MatcherConfig, SchemaMatcher
+from repro.schema.matcher.murty import top_k_assignments
+from repro.schema.matcher.similarity import (
+    attribute_similarity,
+    instance_similarity,
+    name_similarity,
+)
+
+__all__ = [
+    "MatcherConfig",
+    "SchemaMatcher",
+    "attribute_similarity",
+    "instance_similarity",
+    "name_similarity",
+    "solve_assignment",
+    "top_k_assignments",
+]

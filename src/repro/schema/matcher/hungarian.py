@@ -1,0 +1,119 @@
+"""Hungarian algorithm: minimum-cost one-to-one assignment in O(n^2 * m).
+
+This is the classic potentials ("Kuhn-Munkres with dual variables")
+formulation for rectangular matrices with ``rows <= cols``: every row is
+assigned to a distinct column minimizing total cost.  Written from scratch
+(the library does not lean on :mod:`scipy` at runtime); the test suite
+cross-checks it against ``scipy.optimize.linear_sum_assignment`` and brute
+force.
+
+Forbidden pairs are modelled with :data:`FORBIDDEN` (a large finite cost —
+infinities would poison the dual updates); :func:`solve_assignment` reports
+infeasibility when any chosen entry is forbidden.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+
+#: Cost used for disallowed pairs.  Large enough to never be chosen when a
+#: feasible alternative exists, small enough that sums stay well below
+#: float overflow.
+FORBIDDEN = 1e15
+
+
+class InfeasibleAssignmentError(ReproError):
+    """No assignment avoids the forbidden pairs."""
+
+
+def solve_assignment(
+    cost: Sequence[Sequence[float]],
+) -> tuple[list[int], float]:
+    """Minimum-cost assignment of every row to a distinct column.
+
+    Parameters
+    ----------
+    cost:
+        A rectangular matrix with ``len(cost) <= len(cost[0])`` (fewer or
+        equally many rows as columns).
+
+    Returns
+    -------
+    (assignment, total):
+        ``assignment[i]`` is the column assigned to row ``i``; ``total`` is
+        the summed cost.
+
+    Raises
+    ------
+    InfeasibleAssignmentError
+        When every assignment uses a :data:`FORBIDDEN` entry.
+
+    Examples
+    --------
+    >>> solve_assignment([[4, 1, 3], [2, 0, 5], [3, 2, 2]])
+    ([1, 0, 2], 5.0)
+    """
+    n = len(cost)
+    if n == 0:
+        return [], 0.0
+    m = len(cost[0])
+    if any(len(row) != m for row in cost):
+        raise ReproError("cost matrix rows have unequal lengths")
+    if n > m:
+        raise ReproError(
+            f"assignment needs at least as many columns as rows ({n} > {m})"
+        )
+    INF = float("inf")
+    u = [0.0] * (n + 1)
+    v = [0.0] * (m + 1)
+    p = [0] * (m + 1)  # p[j]: row (1-based) matched to column j; 0 = free
+    way = [0] * (m + 1)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = [INF] * (m + 1)
+        used = [False] * (m + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = INF
+            j1 = 0
+            row_cost = cost[i0 - 1]
+            for j in range(1, m + 1):
+                if used[j]:
+                    continue
+                current = row_cost[j - 1] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(m + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+    assignment = [-1] * n
+    for j in range(1, m + 1):
+        if p[j]:
+            assignment[p[j] - 1] = j - 1
+    total = 0.0
+    for i, j in enumerate(assignment):
+        entry = cost[i][j]
+        if entry >= FORBIDDEN / 2:
+            raise InfeasibleAssignmentError(
+                "no assignment avoids the forbidden pairs"
+            )
+        total += entry
+    return assignment, total

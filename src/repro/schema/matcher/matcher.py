@@ -1,0 +1,243 @@
+"""End-to-end schema matcher producing probabilistic mappings.
+
+:class:`SchemaMatcher` turns a source instance and a target (mediated)
+relation into a :class:`~repro.schema.mapping.PMapping`:
+
+1. score every (source attribute, target attribute) pair with
+   :func:`~repro.schema.matcher.similarity.attribute_similarity` (name +
+   instance evidence);
+2. find the K best one-to-one assignments with Murty's algorithm over the
+   similarity matrix (maximization, via cost = 1 - similarity); target
+   attributes may also stay *unmatched* when no pair clears the similarity
+   threshold (modelled with padding columns);
+3. convert assignment scores into mapping probabilities with a softmax at
+   a configurable temperature, and package everything as a validated
+   p-mapping (distinct mappings, probabilities summing to 1).
+
+Known correspondences can be pinned, exactly like the paper's examples
+where only one target attribute is uncertain.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import MappingError
+from repro.schema.correspondence import AttributeCorrespondence
+from repro.schema.mapping import PMapping, RelationMapping
+from repro.schema.matcher.murty import top_k_assignments
+from repro.schema.matcher.similarity import attribute_similarity
+from repro.schema.model import Relation
+from repro.storage.table import Table
+
+
+class MatcherConfig:
+    """Tunables for :class:`SchemaMatcher`.
+
+    Parameters
+    ----------
+    top_k:
+        Number of candidate mappings to produce (at most; duplicates after
+        dropping below-threshold pairs are merged).
+    threshold:
+        Pairs scoring below this similarity are treated as "no match" —
+        the corresponding target attribute stays unmapped in that
+        candidate.
+    temperature:
+        Softmax temperature for score -> probability conversion.  Lower is
+        sharper (more mass on the best mapping).
+    sample_size:
+        How many instance rows to sample for instance evidence.
+    name_weight:
+        Weight of name evidence versus instance evidence.
+    """
+
+    def __init__(
+        self,
+        top_k: int = 5,
+        threshold: float = 0.35,
+        temperature: float = 0.1,
+        sample_size: int = 100,
+        name_weight: float = 0.6,
+    ) -> None:
+        if top_k < 1:
+            raise MappingError("top_k must be at least 1")
+        if not 0.0 < temperature:
+            raise MappingError("temperature must be positive")
+        self.top_k = top_k
+        self.threshold = threshold
+        self.temperature = temperature
+        self.sample_size = sample_size
+        self.name_weight = name_weight
+
+
+class SchemaMatcher:
+    """Matches a source relation to a target relation, yielding a p-mapping.
+
+    Parameters
+    ----------
+    source:
+        The source :class:`~repro.storage.table.Table` (instance evidence
+        comes from its rows) or a bare :class:`Relation` (names only).
+    target:
+        The target relation, optionally with its own instance
+        (``target_instance``) for instance evidence.
+    known:
+        Correspondences to pin in every candidate mapping.
+    config:
+        A :class:`MatcherConfig`; defaults are sensible for small schemas.
+    """
+
+    def __init__(
+        self,
+        source: Table | Relation,
+        target: Table | Relation,
+        *,
+        known: list[AttributeCorrespondence] | None = None,
+        config: MatcherConfig | None = None,
+    ) -> None:
+        if isinstance(source, Table):
+            self.source_relation = source.relation
+            self._source_table: Table | None = source
+        else:
+            self.source_relation = source
+            self._source_table = None
+        if isinstance(target, Table):
+            self.target_relation = target.relation
+            self._target_table: Table | None = target
+        else:
+            self.target_relation = target
+            self._target_table = None
+        self.known = list(known or [])
+        self.config = config or MatcherConfig()
+        for corr in self.known:
+            if corr.source not in self.source_relation:
+                raise MappingError(
+                    f"known correspondence source {corr.source!r} not in "
+                    f"{self.source_relation.name!r}"
+                )
+            if corr.target not in self.target_relation:
+                raise MappingError(
+                    f"known correspondence target {corr.target!r} not in "
+                    f"{self.target_relation.name!r}"
+                )
+
+    # -- scoring -----------------------------------------------------------
+
+    def _sample(self, table: Table | None, attribute: str) -> tuple:
+        if table is None:
+            return ()
+        return table.column(attribute)[: self.config.sample_size]
+
+    def similarity_matrix(self) -> tuple[list[str], list[str], list[list[float]]]:
+        """Scores for every *free* (target, source) attribute pair.
+
+        Known correspondences (and the attributes they bind) are excluded.
+        Rows index free target attributes, columns free source attributes.
+        """
+        pinned_sources = {c.source for c in self.known}
+        pinned_targets = {c.target for c in self.known}
+        free_targets = [
+            a.name for a in self.target_relation if a.name not in pinned_targets
+        ]
+        free_sources = [
+            a.name for a in self.source_relation if a.name not in pinned_sources
+        ]
+        matrix = [
+            [
+                attribute_similarity(
+                    source_name,
+                    target_name,
+                    self._sample(self._source_table, source_name),
+                    self._sample(self._target_table, target_name),
+                    name_weight=self.config.name_weight,
+                )
+                for source_name in free_sources
+            ]
+            for target_name in free_targets
+        ]
+        return free_targets, free_sources, matrix
+
+    # -- matching ----------------------------------------------------------
+
+    def candidate_mappings(self) -> list[tuple[RelationMapping, float]]:
+        """The top-K one-to-one mappings with their total similarity scores.
+
+        Each target attribute is assigned a distinct source attribute or
+        stays unmatched (when "unmatched" scores better than any remaining
+        pair, i.e. all candidates fall below the threshold).
+        """
+        free_targets, free_sources, matrix = self.similarity_matrix()
+        if not free_targets:
+            return [(self._build_mapping({}, 0), 1.0)]
+        # Cost matrix: one row per free target attribute; columns are the
+        # free source attributes followed by one "stay unmatched" padding
+        # column per target, priced at the threshold.
+        columns = len(free_sources) + len(free_targets)
+        cost: list[list[float]] = []
+        for t_index in range(len(free_targets)):
+            row = [1.0 - matrix[t_index][s_index] for s_index in range(len(free_sources))]
+            for pad in range(len(free_targets)):
+                row.append(
+                    1.0 - self.config.threshold if pad == t_index else 2.0
+                )
+            cost.append(row)
+        candidates: list[tuple[RelationMapping, float]] = []
+        seen: set[RelationMapping] = set()
+        for assignment, total_cost in top_k_assignments(cost, self.config.top_k * 3):
+            pairs: dict[str, str] = {}
+            score = 0.0
+            for t_index, column in enumerate(assignment):
+                if column >= len(free_sources):
+                    continue  # this target attribute stays unmatched
+                pairs[free_targets[t_index]] = free_sources[column]
+                score += matrix[t_index][column]
+            mapping = self._build_mapping(pairs, len(candidates))
+            if mapping in seen:
+                continue
+            seen.add(mapping)
+            candidates.append((mapping, score))
+            if len(candidates) >= self.config.top_k:
+                break
+        return candidates
+
+    def _build_mapping(
+        self, target_to_source: dict[str, str], index: int
+    ) -> RelationMapping:
+        correspondences = list(self.known) + [
+            AttributeCorrespondence(source_name, target_name)
+            for target_name, source_name in target_to_source.items()
+        ]
+        return RelationMapping(
+            self.source_relation,
+            self.target_relation,
+            correspondences,
+            name=f"match{index + 1}",
+        )
+
+    def pmapping(self) -> PMapping:
+        """The final probabilistic mapping: candidates + softmax probabilities.
+
+        Examples
+        --------
+        >>> SchemaMatcher(source_table, T1_RELATION).pmapping()  # doctest: +SKIP
+        PMapping(S1 => T1; match1: 0.7313, match2: 0.2687)
+        """
+        candidates = self.candidate_mappings()
+        temperature = self.config.temperature
+        best = max(score for _, score in candidates)
+        weights = [
+            math.exp((score - best) / temperature) for _, score in candidates
+        ]
+        total = sum(weights)
+        probabilities = [w / total for w in weights]
+        drift = 1.0 - sum(probabilities)
+        probabilities[probabilities.index(max(probabilities))] += drift
+        return PMapping(
+            self.source_relation,
+            self.target_relation,
+            [
+                (mapping, probability)
+                for (mapping, _), probability in zip(candidates, probabilities)
+            ],
+        )

@@ -1,0 +1,111 @@
+"""Murty's ranking algorithm: the K best one-to-one assignments.
+
+Top-K schema matching (Gal, JoDS 2006; Roitman et al., ER 2008 — the tools
+the paper cites as p-mapping producers) needs not just the best attribute
+assignment but the K best.  Murty's algorithm delivers them in
+nondecreasing cost order by systematically partitioning the solution
+space: after emitting the best assignment of a subproblem, it spawns one
+child subproblem per assigned pair — the pair is *forbidden* in that child
+while all earlier pairs are *forced* — so the children partition "all
+assignments except the one just emitted".
+
+Each child costs one Hungarian solve, so the total is O(K * n * solve):
+polynomial in K and the matrix size.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterator, Sequence
+
+from repro.schema.matcher.hungarian import (
+    FORBIDDEN,
+    InfeasibleAssignmentError,
+    solve_assignment,
+)
+
+
+def _solve_constrained(
+    cost: Sequence[Sequence[float]],
+    forced: dict[int, int],
+    forbidden: set[tuple[int, int]],
+) -> tuple[list[int], float] | None:
+    """Best assignment honouring forced pairs and forbidden pairs.
+
+    Returns ``None`` when infeasible.  Forced rows/columns are removed and
+    their costs added back; forbidden entries get :data:`FORBIDDEN`.
+    """
+    n = len(cost)
+    m = len(cost[0]) if n else 0
+    free_rows = [i for i in range(n) if i not in forced]
+    used_columns = set(forced.values())
+    free_columns = [j for j in range(m) if j not in used_columns]
+    if len(free_rows) > len(free_columns):
+        return None
+    base = 0.0
+    for row, column in forced.items():
+        entry = cost[row][column]
+        if entry >= FORBIDDEN / 2:
+            return None
+        base += entry
+    reduced = [
+        [
+            FORBIDDEN if (row, column) in forbidden else cost[row][column]
+            for column in free_columns
+        ]
+        for row in free_rows
+    ]
+    try:
+        sub_assignment, sub_cost = solve_assignment(reduced)
+    except InfeasibleAssignmentError:
+        return None
+    assignment = [-1] * n
+    for row, column in forced.items():
+        assignment[row] = column
+    for local_row, local_column in enumerate(sub_assignment):
+        assignment[free_rows[local_row]] = free_columns[local_column]
+    return assignment, base + sub_cost
+
+
+def top_k_assignments(
+    cost: Sequence[Sequence[float]], k: int
+) -> Iterator[tuple[list[int], float]]:
+    """Yield up to ``k`` distinct assignments in nondecreasing cost order.
+
+    Examples
+    --------
+    >>> list(top_k_assignments([[0, 1], [1, 0]], 2))
+    [([0, 1], 0.0), ([1, 0], 2.0)]
+    """
+    if k <= 0 or not cost:
+        return
+    first = _solve_constrained(cost, {}, set())
+    if first is None:
+        return
+    counter = itertools.count()
+    # Heap entries: (cost, tiebreak, assignment, forced, forbidden)
+    heap: list[tuple[float, int, list[int], dict[int, int], set[tuple[int, int]]]] = [
+        (first[1], next(counter), first[0], {}, set())
+    ]
+    emitted = 0
+    while heap and emitted < k:
+        total, _, assignment, forced, forbidden = heapq.heappop(heap)
+        yield assignment, total
+        emitted += 1
+        # Partition the remaining solutions of this subproblem.
+        child_forced = dict(forced)
+        for row in range(len(cost)):
+            if row in forced:
+                continue
+            pair = (row, assignment[row])
+            child_forbidden = set(forbidden)
+            child_forbidden.add(pair)
+            solved = _solve_constrained(cost, child_forced, child_forbidden)
+            if solved is not None:
+                heapq.heappush(
+                    heap,
+                    (solved[1], next(counter), solved[0], dict(child_forced),
+                     child_forbidden),
+                )
+            child_forced[row] = assignment[row]

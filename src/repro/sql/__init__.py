@@ -1,0 +1,60 @@
+"""A small SQL dialect for aggregate queries.
+
+The paper works with aggregate queries of the shape::
+
+    SELECT Agg([DISTINCT] A) FROM T [WHERE C] [GROUP BY B]
+
+optionally nested one level, as in its query Q2::
+
+    SELECT AVG(R1.price)
+    FROM (SELECT MAX(DISTINCT R2.price) FROM T2 AS R2
+          GROUP BY R2.auctionId) AS R1
+
+This package provides a lexer, recursive-descent parser, an AST that can
+render itself back to SQL (including a SQLite dialect used by the by-table
+execution path), a condition compiler that turns WHERE clauses into fast
+Python predicates over source rows, and the mapping-driven reformulator that
+rewrites a query posed on the mediated schema into one per candidate mapping
+(the step Figure 1 of the paper calls "reformulate").
+"""
+
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateOp,
+    AggregateQuery,
+    BetweenPredicate,
+    BooleanCondition,
+    ColumnRef,
+    Comparison,
+    Condition,
+    InPredicate,
+    IsNullPredicate,
+    Literal,
+    NotCondition,
+    SubquerySource,
+    TableSource,
+)
+from repro.sql.conditions import compile_condition
+from repro.sql.parser import parse_query
+from repro.sql.reformulate import reformulate_condition, reformulate_query
+
+__all__ = [
+    "AggregateCall",
+    "AggregateOp",
+    "AggregateQuery",
+    "BetweenPredicate",
+    "BooleanCondition",
+    "ColumnRef",
+    "Comparison",
+    "Condition",
+    "InPredicate",
+    "IsNullPredicate",
+    "Literal",
+    "NotCondition",
+    "SubquerySource",
+    "TableSource",
+    "compile_condition",
+    "parse_query",
+    "reformulate_condition",
+    "reformulate_query",
+]

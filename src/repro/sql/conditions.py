@@ -1,0 +1,315 @@
+"""Compile WHERE-clause conditions into Python predicates over rows.
+
+The by-tuple algorithms evaluate the selection condition once per tuple per
+mapping, so the condition is compiled *once* into a closure tree and then
+applied to each row — no per-row AST walking.
+
+Evaluation follows SQL's three-valued logic internally (``None`` = unknown,
+arising from NULLs); the compiled top-level predicate collapses unknown to
+``False``, matching the behaviour of a WHERE clause, which only keeps rows
+whose condition is *true*.
+
+Literals are coerced against column types at compile time: comparing a DATE
+column with the string ``'2008-1-20'`` (the paper's non-zero-padded style)
+compares actual dates, not strings.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Callable
+
+from repro.exceptions import EvaluationError
+from repro.schema.model import AttributeType, Relation
+from repro.sql.ast import (
+    BetweenPredicate,
+    BooleanCondition,
+    ColumnRef,
+    Comparison,
+    Condition,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    NotCondition,
+    Operand,
+    parse_flexible_date,
+)
+from repro.storage.table import Row
+
+#: A compiled predicate: row -> bool (unknown already collapsed to False).
+RowPredicate = Callable[[Row], bool]
+
+#: Internal tri-state evaluator: row -> True | False | None.
+_TriPredicate = Callable[[Row], bool | None]
+
+
+def compile_condition(
+    condition: Condition | None,
+    relation: Relation,
+    binding_name: str | None = None,
+) -> RowPredicate:
+    """Compile ``condition`` into a fast predicate over rows of ``relation``.
+
+    Parameters
+    ----------
+    condition:
+        The WHERE clause; ``None`` compiles to an always-true predicate.
+    relation:
+        The relation whose rows will be tested; used to resolve column names
+        and coerce literals.
+    binding_name:
+        The name (table name or alias) that column qualifiers must match;
+        defaults to the relation's own name.
+
+    Examples
+    --------
+    >>> from repro.sql.parser import parse_condition       # doctest: +SKIP
+    >>> pred = compile_condition(
+    ...     parse_condition("price >= 150000"), s1)        # doctest: +SKIP
+    >>> pred(row)                                          # doctest: +SKIP
+    True
+    """
+    if condition is None:
+        return lambda row: True
+    binding = binding_name or relation.name
+    tri = _compile(condition, relation, binding)
+    return lambda row: tri(row) is True
+
+
+def _compile(
+    condition: Condition, relation: Relation, binding: str
+) -> _TriPredicate:
+    if isinstance(condition, Comparison):
+        return _compile_comparison(condition, relation, binding)
+    if isinstance(condition, BooleanCondition):
+        parts = [_compile(c, relation, binding) for c in condition.operands]
+        if condition.operator == "AND":
+            return _make_and(parts)
+        return _make_or(parts)
+    if isinstance(condition, NotCondition):
+        inner = _compile(condition.operand, relation, binding)
+
+        def negate(row: Row) -> bool | None:
+            value = inner(row)
+            return None if value is None else not value
+
+        return negate
+    if isinstance(condition, BetweenPredicate):
+        return _compile_between(condition, relation, binding)
+    if isinstance(condition, InPredicate):
+        return _compile_in(condition, relation, binding)
+    if isinstance(condition, IsNullPredicate):
+        getter = _compile_operand(condition.operand, relation, binding, None)
+        if condition.negated:
+            return lambda row: getter(row) is not None
+        return lambda row: getter(row) is None
+    if isinstance(condition, LikePredicate):
+        return _compile_like(condition, relation, binding)
+    raise EvaluationError(f"cannot compile condition node {condition!r}")
+
+
+def _make_and(parts: list[_TriPredicate]) -> _TriPredicate:
+    def conjunction(row: Row) -> bool | None:
+        saw_unknown = False
+        for part in parts:
+            value = part(row)
+            if value is False:
+                return False
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else True
+
+    return conjunction
+
+
+def _make_or(parts: list[_TriPredicate]) -> _TriPredicate:
+    def disjunction(row: Row) -> bool | None:
+        saw_unknown = False
+        for part in parts:
+            value = part(row)
+            if value is True:
+                return True
+            if value is None:
+                saw_unknown = True
+        return None if saw_unknown else False
+
+    return disjunction
+
+
+# -- operands ---------------------------------------------------------------
+
+
+def _resolve_column(ref: ColumnRef, relation: Relation, binding: str) -> int:
+    if ref.qualifier is not None and ref.qualifier != binding:
+        raise EvaluationError(
+            f"column qualifier {ref.qualifier!r} does not match the FROM "
+            f"binding {binding!r}"
+        )
+    if ref.name not in relation:
+        raise EvaluationError(
+            f"relation {relation.name!r} has no column {ref.name!r} "
+            f"(has: {', '.join(relation.attribute_names)})"
+        )
+    return relation.index_of(ref.name)
+
+
+def _column_type(
+    operand: Operand, relation: Relation, binding: str
+) -> AttributeType | None:
+    if isinstance(operand, ColumnRef):
+        _resolve_column(operand, relation, binding)
+        return relation.attribute(operand.name).type
+    return None
+
+
+def _coerce_literal(value: object, target: AttributeType | None) -> object:
+    """Coerce a literal toward the column type it is compared with."""
+    if target is None or value is None:
+        return value
+    if target is AttributeType.DATE and isinstance(value, str):
+        parsed = parse_flexible_date(value)
+        if parsed is None:
+            raise EvaluationError(
+                f"cannot interpret {value!r} as a date for comparison with "
+                "a DATE column"
+            )
+        return parsed
+    if target is AttributeType.REAL and isinstance(value, int):
+        return float(value)
+    if target is AttributeType.INT and isinstance(value, float):
+        # Keep floats intact: 3.5 = int_column must compare unequal, not
+        # truncate.  Python compares int/float natively.
+        return value
+    if target in (AttributeType.INT, AttributeType.REAL) and isinstance(value, str):
+        raise EvaluationError(
+            f"cannot compare numeric column with string literal {value!r}"
+        )
+    if target is AttributeType.TEXT and not isinstance(value, str):
+        return str(value)
+    return value
+
+
+def _compile_operand(
+    operand: Operand,
+    relation: Relation,
+    binding: str,
+    peer_type: AttributeType | None,
+) -> Callable[[Row], object]:
+    """Compile a comparison operand into a value getter.
+
+    ``peer_type`` is the column type on the *other* side of the comparison,
+    used to coerce literals (e.g. date strings).
+    """
+    if isinstance(operand, ColumnRef):
+        index = _resolve_column(operand, relation, binding)
+        return lambda row: row.as_tuple()[index]
+    if isinstance(operand, Literal):
+        value = _coerce_literal(operand.value, peer_type)
+        return lambda row: value
+    raise EvaluationError(f"cannot compile operand {operand!r}")
+
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _compile_comparison(
+    condition: Comparison, relation: Relation, binding: str
+) -> _TriPredicate:
+    left_type = _column_type(condition.left, relation, binding)
+    right_type = _column_type(condition.right, relation, binding)
+    left = _compile_operand(condition.left, relation, binding, right_type)
+    right = _compile_operand(condition.right, relation, binding, left_type)
+    compare = _COMPARATORS[condition.operator]
+
+    def predicate(row: Row) -> bool | None:
+        a = left(row)
+        b = right(row)
+        if a is None or b is None:
+            return None
+        try:
+            return compare(a, b)
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot compare {a!r} with {b!r} in "
+                f"{condition.to_sql()!r}"
+            ) from exc
+
+    return predicate
+
+
+def _compile_between(
+    condition: BetweenPredicate, relation: Relation, binding: str
+) -> _TriPredicate:
+    operand_type = _column_type(condition.operand, relation, binding)
+    # BETWEEN bounds borrow the tested operand's column type for coercion.
+    operand = _compile_operand(condition.operand, relation, binding, None)
+    low = _compile_operand(condition.low, relation, binding, operand_type)
+    high = _compile_operand(condition.high, relation, binding, operand_type)
+
+    def predicate(row: Row) -> bool | None:
+        value = operand(row)
+        lo = low(row)
+        hi = high(row)
+        if value is None or lo is None or hi is None:
+            return None
+        result = lo <= value <= hi
+        return not result if condition.negated else result
+
+    return predicate
+
+
+def _compile_in(
+    condition: InPredicate, relation: Relation, binding: str
+) -> _TriPredicate:
+    operand_type = _column_type(condition.operand, relation, binding)
+    operand = _compile_operand(condition.operand, relation, binding, None)
+    values = frozenset(
+        _coerce_literal(literal.value, operand_type)
+        for literal in condition.values
+    )
+
+    def predicate(row: Row) -> bool | None:
+        value = operand(row)
+        if value is None:
+            return None
+        result = value in values
+        return not result if condition.negated else result
+
+    return predicate
+
+
+def _like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Translate a SQL LIKE pattern into an anchored regex."""
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def _compile_like(
+    condition: LikePredicate, relation: Relation, binding: str
+) -> _TriPredicate:
+    operand = _compile_operand(condition.operand, relation, binding, None)
+    regex = _like_to_regex(condition.pattern)
+
+    def predicate(row: Row) -> bool | None:
+        value = operand(row)
+        if value is None:
+            return None
+        result = regex.match(str(value)) is not None
+        return not result if condition.negated else result
+
+    return predicate

@@ -1,0 +1,162 @@
+"""Tokenizer for the aggregate-SQL subset.
+
+Produces a flat list of :class:`Token` objects.  Keywords are recognized
+case-insensitively and normalized to upper case; identifiers keep their
+spelling.  String literals use single quotes with ``''`` as the escape for an
+embedded quote, as in standard SQL.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import SQLSyntaxError
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT",
+    "DISTINCT", "BETWEEN", "IN", "IS", "NULL", "LIKE",
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+})
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"      # = <> != < <= > >=
+    PUNCTUATION = "punct"      # ( ) , . *
+    END = "end"
+
+
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    __slots__ = ("type", "value", "position")
+
+    def __init__(self, type: TokenType, value: object, position: int) -> None:
+        self.type = type
+        self.value = value
+        self.position = position
+
+    def matches(self, type: TokenType, value: object = None) -> bool:
+        """True when the token has the given type (and value, if given)."""
+        if self.type is not type:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, @{self.position})"
+
+
+_OPERATOR_STARTS = "=<>!"
+_PUNCTUATION = "(),.*+-"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into tokens, ending with a single END token.
+
+    Raises
+    ------
+    SQLSyntaxError
+        On any character that cannot start a token, an unterminated string,
+        or a malformed number.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            value, i = _read_string(text, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _read_number(text, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, start))
+            continue
+        if ch in _OPERATOR_STARTS:
+            op, i = _read_operator(text, i)
+            tokens.append(Token(TokenType.OPERATOR, op, i))
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.END, None, n))
+    return tokens
+
+
+def _read_string(text: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string literal starting at ``start``."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SQLSyntaxError("unterminated string literal", position=start)
+
+
+def _read_number(text: str, start: int) -> tuple[float | int, int]:
+    """Read an integer or decimal number starting at ``start``."""
+    i = start
+    n = len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or text[i] == "."):
+        if text[i] == ".":
+            if seen_dot:
+                raise SQLSyntaxError("malformed number", position=start)
+            seen_dot = True
+        i += 1
+    # Scientific notation: 1e6, 2.5E-3
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            i = j
+            while i < n and text[i].isdigit():
+                i += 1
+            return float(text[start:i]), i
+    raw = text[start:i]
+    if raw.endswith("."):
+        raise SQLSyntaxError("malformed number", position=start)
+    if seen_dot:
+        return float(raw), i
+    return int(raw), i
+
+
+def _read_operator(text: str, start: int) -> tuple[str, int]:
+    """Read a comparison operator starting at ``start``."""
+    two = text[start:start + 2]
+    if two in ("<=", ">=", "<>", "!="):
+        return ("<>" if two == "!=" else two), start + 2
+    one = text[start]
+    if one in "=<>":
+        return one, start + 1
+    raise SQLSyntaxError(f"unexpected operator character {one!r}", position=start)

@@ -1,0 +1,278 @@
+"""Recursive-descent parser for the aggregate-SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    query      :=  SELECT agg FROM source [WHERE condition] [GROUP BY column]
+    agg        :=  (COUNT|SUM|AVG|MIN|MAX) '(' [DISTINCT] (column | '*') ')'
+    source     :=  identifier [AS identifier]
+                |  '(' query ')' AS identifier
+    condition  :=  or_expr
+    or_expr    :=  and_expr (OR and_expr)*
+    and_expr   :=  not_expr (AND not_expr)*
+    not_expr   :=  NOT not_expr | primary
+    primary    :=  '(' condition ')'
+                |  operand comparison
+    comparison :=  cmp_op operand
+                |  [NOT] BETWEEN operand AND operand
+                |  [NOT] IN '(' literal (',' literal)* ')'
+                |  IS [NOT] NULL
+                |  [NOT] LIKE string
+    operand    :=  column | literal
+    column     :=  identifier ['.' identifier]
+
+Only literal operands are allowed inside BETWEEN/IN bounds on the grammar
+level where SQL would allow expressions; the paper's queries never need
+more.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SQLSyntaxError
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateOp,
+    AggregateQuery,
+    BetweenPredicate,
+    BooleanCondition,
+    ColumnRef,
+    Comparison,
+    Condition,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    NotCondition,
+    Operand,
+    SubquerySource,
+    TableSource,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGGREGATE_KEYWORDS = {op.value for op in AggregateOp}
+
+
+def parse_query(text: str) -> AggregateQuery:
+    """Parse SQL text into an :class:`AggregateQuery`.
+
+    Raises
+    ------
+    SQLSyntaxError
+        When the text is not a well-formed query in the subset.
+
+    Examples
+    --------
+    >>> q = parse_query("SELECT SUM(price) FROM T2 WHERE auctionID = 34")
+    >>> q.aggregate.op.value, q.source.name
+    ('SUM', 'T2')
+    """
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.expect_end()
+    return query
+
+
+def parse_condition(text: str) -> Condition:
+    """Parse a standalone WHERE-clause condition (used in tests/tools)."""
+    parser = _Parser(tokenize(text))
+    condition = parser.parse_condition()
+    parser.expect_end()
+    return condition
+
+
+class _Parser:
+    """Token-stream cursor with one-token lookahead."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- cursor helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.type is not TokenType.END:
+            self._index += 1
+        return token
+
+    def accept(self, type: TokenType, value: object = None) -> Token | None:
+        if self.current.matches(type, value):
+            return self.advance()
+        return None
+
+    def expect(self, type: TokenType, value: object = None) -> Token:
+        token = self.accept(type, value)
+        if token is None:
+            wanted = value if value is not None else type.value
+            raise SQLSyntaxError(
+                f"expected {wanted}, found {self.current.value!r}",
+                position=self.current.position,
+            )
+        return token
+
+    def expect_end(self) -> None:
+        if self.current.type is not TokenType.END:
+            raise SQLSyntaxError(
+                f"unexpected trailing input {self.current.value!r}",
+                position=self.current.position,
+            )
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_query(self) -> AggregateQuery:
+        self.expect(TokenType.KEYWORD, "SELECT")
+        aggregate = self._parse_aggregate_call()
+        self.expect(TokenType.KEYWORD, "FROM")
+        source = self._parse_source()
+        where = None
+        if self.accept(TokenType.KEYWORD, "WHERE"):
+            where = self.parse_condition()
+        group_by = None
+        if self.accept(TokenType.KEYWORD, "GROUP"):
+            self.expect(TokenType.KEYWORD, "BY")
+            group_by = self._parse_column()
+        return AggregateQuery(aggregate, source, where, group_by)
+
+    def _parse_aggregate_call(self) -> AggregateCall:
+        token = self.current
+        if token.type is not TokenType.KEYWORD or token.value not in _AGGREGATE_KEYWORDS:
+            raise SQLSyntaxError(
+                f"expected an aggregate function, found {token.value!r}",
+                position=token.position,
+            )
+        self.advance()
+        op = AggregateOp(token.value)
+        self.expect(TokenType.PUNCTUATION, "(")
+        distinct = bool(self.accept(TokenType.KEYWORD, "DISTINCT"))
+        if self.accept(TokenType.PUNCTUATION, "*"):
+            argument = None
+        else:
+            argument = self._parse_column()
+        self.expect(TokenType.PUNCTUATION, ")")
+        return AggregateCall(op, argument, distinct)
+
+    def _parse_source(self) -> TableSource | SubquerySource:
+        if self.accept(TokenType.PUNCTUATION, "("):
+            query = self.parse_query()
+            self.expect(TokenType.PUNCTUATION, ")")
+            self.expect(TokenType.KEYWORD, "AS")
+            alias = self.expect(TokenType.IDENTIFIER).value
+            return SubquerySource(query, str(alias))
+        name = str(self.expect(TokenType.IDENTIFIER).value)
+        alias = None
+        if self.accept(TokenType.KEYWORD, "AS"):
+            alias = str(self.expect(TokenType.IDENTIFIER).value)
+        elif self.current.type is TokenType.IDENTIFIER:
+            # SQL allows the AS keyword to be omitted: FROM T2 R2
+            alias = str(self.advance().value)
+        return TableSource(name, alias)
+
+    def _parse_column(self) -> ColumnRef:
+        first = str(self.expect(TokenType.IDENTIFIER).value)
+        if self.accept(TokenType.PUNCTUATION, "."):
+            second = str(self.expect(TokenType.IDENTIFIER).value)
+            return ColumnRef(second, qualifier=first)
+        return ColumnRef(first)
+
+    # -- conditions ---------------------------------------------------------
+
+    def parse_condition(self) -> Condition:
+        return self._parse_or()
+
+    def _parse_or(self) -> Condition:
+        operands = [self._parse_and()]
+        while self.accept(TokenType.KEYWORD, "OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanCondition("OR", operands)
+
+    def _parse_and(self) -> Condition:
+        operands = [self._parse_not()]
+        while self.accept(TokenType.KEYWORD, "AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanCondition("AND", operands)
+
+    def _parse_not(self) -> Condition:
+        if self.accept(TokenType.KEYWORD, "NOT"):
+            return NotCondition(self._parse_not())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Condition:
+        if self.current.matches(TokenType.PUNCTUATION, "("):
+            # Could be a parenthesized condition; literals never start with
+            # '(', so this is unambiguous in this grammar.
+            self.advance()
+            condition = self.parse_condition()
+            self.expect(TokenType.PUNCTUATION, ")")
+            return condition
+        operand = self._parse_operand()
+        return self._parse_comparison_tail(operand)
+
+    def _parse_comparison_tail(self, operand: Operand) -> Condition:
+        negated = bool(self.accept(TokenType.KEYWORD, "NOT"))
+        if self.current.type is TokenType.OPERATOR:
+            if negated:
+                raise SQLSyntaxError(
+                    "NOT cannot directly precede a comparison operator",
+                    position=self.current.position,
+                )
+            operator = str(self.advance().value)
+            right = self._parse_operand()
+            return Comparison(operand, operator, right)
+        if self.accept(TokenType.KEYWORD, "BETWEEN"):
+            low = self._parse_operand()
+            self.expect(TokenType.KEYWORD, "AND")
+            high = self._parse_operand()
+            return BetweenPredicate(operand, low, high, negated)
+        if self.accept(TokenType.KEYWORD, "IN"):
+            self.expect(TokenType.PUNCTUATION, "(")
+            values = [self._parse_literal()]
+            while self.accept(TokenType.PUNCTUATION, ","):
+                values.append(self._parse_literal())
+            self.expect(TokenType.PUNCTUATION, ")")
+            return InPredicate(operand, values, negated)
+        if self.accept(TokenType.KEYWORD, "LIKE"):
+            pattern = self.expect(TokenType.STRING).value
+            return LikePredicate(operand, str(pattern), negated)
+        if not negated and self.accept(TokenType.KEYWORD, "IS"):
+            is_not = bool(self.accept(TokenType.KEYWORD, "NOT"))
+            self.expect(TokenType.KEYWORD, "NULL")
+            return IsNullPredicate(operand, is_not)
+        raise SQLSyntaxError(
+            f"expected a comparison, found {self.current.value!r}",
+            position=self.current.position,
+        )
+
+    def _parse_operand(self) -> Operand:
+        if self.current.type is TokenType.IDENTIFIER:
+            return self._parse_column()
+        return self._parse_literal()
+
+    def _parse_literal(self) -> Literal:
+        sign = 1
+        saw_sign = False
+        while self.current.type is TokenType.PUNCTUATION and self.current.value in (
+            "+",
+            "-",
+        ):
+            saw_sign = True
+            if self.advance().value == "-":
+                sign = -sign
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            return Literal(sign * token.value)
+        if token.type is TokenType.STRING and not saw_sign:
+            self.advance()
+            return Literal(token.value)
+        raise SQLSyntaxError(
+            f"expected a {'number' if saw_sign else 'literal'}, "
+            f"found {token.value!r}",
+            position=token.position,
+        )

@@ -1,0 +1,168 @@
+"""Render queries to SQL executable by the SQLite backend.
+
+Two adjustments separate the paper's loose SQL from something SQLite will
+run:
+
+1. **Date literals.**  The paper compares DATE columns against strings like
+   ``'2008-1-20'``; the backend stores dates as zero-padded ISO-8601 TEXT,
+   so such literals must be normalized (``'2008-01-20'``) or string
+   comparison would be wrong.
+
+2. **Nested column naming.**  The paper's Q2 writes ``AVG(R1.price)`` over a
+   subquery whose only column is ``MAX(DISTINCT R2.price)`` — valid in
+   spirit, invalid in strict SQL.  We render the inner aggregate with the
+   alias ``__agg`` and point the outer argument at it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import StorageError, UnsupportedQueryError
+from repro.schema.model import AttributeType, Relation
+from repro.sql.ast import (
+    AggregateQuery,
+    BetweenPredicate,
+    BooleanCondition,
+    ColumnRef,
+    Comparison,
+    Condition,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    NotCondition,
+    Operand,
+    SubquerySource,
+    parse_flexible_date,
+)
+
+#: Alias given to the aggregate column of a nested inner query.
+INNER_AGGREGATE_ALIAS = "__agg"
+
+
+def executable_sql(
+    query: AggregateQuery, catalog: Mapping[str, Relation]
+) -> str:
+    """Render ``query`` (already reformulated onto source relations) to SQL.
+
+    ``catalog`` maps relation names to their schemas, used to locate DATE
+    columns for literal normalization.  Handles at most one level of FROM
+    nesting, like the rest of the library.
+    """
+    if isinstance(query.source, SubquerySource):
+        inner = query.source.query
+        if isinstance(inner.source, SubquerySource):
+            raise UnsupportedQueryError(
+                "queries nested more than one level are not supported"
+            )
+        if query.where is not None or query.group_by is not None:
+            raise UnsupportedQueryError(
+                "WHERE/GROUP BY on the outer query of a nested aggregate "
+                "is not supported"
+            )
+        inner_sql = _level_sql(inner, catalog, select_alias=INNER_AGGREGATE_ALIAS)
+        alias = query.source.alias
+        argument = ColumnRef(INNER_AGGREGATE_ALIAS, qualifier=alias)
+        distinct = "DISTINCT " if query.aggregate.distinct else ""
+        return (
+            f"SELECT {query.aggregate.op.value}({distinct}{argument.to_sql()}) "
+            f"FROM ({inner_sql}) AS {alias}"
+        )
+    return _level_sql(query, catalog, select_alias=None)
+
+
+def _level_sql(
+    query: AggregateQuery,
+    catalog: Mapping[str, Relation],
+    select_alias: str | None,
+) -> str:
+    name = query.source.name
+    try:
+        relation = catalog[name]
+    except KeyError:
+        raise StorageError(f"unknown relation {name!r} in query") from None
+    select = query.aggregate.to_sql()
+    if select_alias:
+        select = f"{select} AS {select_alias}"
+    if query.group_by is not None:
+        # Grouped results need their group key in the output row.
+        select = f"{query.group_by.to_sql()}, {select}"
+    parts = [f"SELECT {select}", f"FROM {query.source.to_sql()}"]
+    if query.where is not None:
+        binding = query.source.binding_name
+        normalized = normalize_literals(query.where, relation, binding)
+        parts.append(f"WHERE {normalized.to_sql()}")
+    if query.group_by is not None:
+        parts.append(f"GROUP BY {query.group_by.to_sql()}")
+    return " ".join(parts)
+
+
+def normalize_literals(
+    condition: Condition, relation: Relation, binding: str
+) -> Condition:
+    """Normalize date-string literals compared against DATE columns.
+
+    Returns a new condition in which every string literal that is compared
+    with a DATE column is replaced by its zero-padded ISO form, so that
+    SQLite's lexicographic TEXT comparison orders the dates correctly.
+    """
+    if isinstance(condition, Comparison):
+        left_type = _operand_type(condition.left, relation, binding)
+        right_type = _operand_type(condition.right, relation, binding)
+        return Comparison(
+            _normalize_operand(condition.left, right_type),
+            condition.operator,
+            _normalize_operand(condition.right, left_type),
+        )
+    if isinstance(condition, BooleanCondition):
+        return BooleanCondition(
+            condition.operator,
+            [normalize_literals(c, relation, binding) for c in condition.operands],
+        )
+    if isinstance(condition, NotCondition):
+        return NotCondition(normalize_literals(condition.operand, relation, binding))
+    if isinstance(condition, BetweenPredicate):
+        operand_type = _operand_type(condition.operand, relation, binding)
+        return BetweenPredicate(
+            condition.operand,
+            _normalize_operand(condition.low, operand_type),
+            _normalize_operand(condition.high, operand_type),
+            condition.negated,
+        )
+    if isinstance(condition, InPredicate):
+        operand_type = _operand_type(condition.operand, relation, binding)
+        return InPredicate(
+            condition.operand,
+            [_normalize_operand(v, operand_type) for v in condition.values],
+            condition.negated,
+        )
+    if isinstance(condition, (IsNullPredicate, LikePredicate)):
+        return condition
+    raise UnsupportedQueryError(f"cannot render condition node {condition!r}")
+
+
+def _operand_type(
+    operand: Operand, relation: Relation, binding: str
+) -> AttributeType | None:
+    if isinstance(operand, ColumnRef):
+        if operand.qualifier is not None and operand.qualifier != binding:
+            raise StorageError(
+                f"column qualifier {operand.qualifier!r} does not match the "
+                f"FROM binding {binding!r}"
+            )
+        if operand.name in relation:
+            return relation.attribute(operand.name).type
+    return None
+
+
+def _normalize_operand(operand: Operand, peer_type: AttributeType | None):
+    if (
+        isinstance(operand, Literal)
+        and peer_type is AttributeType.DATE
+        and isinstance(operand.value, str)
+    ):
+        parsed = parse_flexible_date(operand.value)
+        if parsed is not None:
+            return Literal(parsed)
+    return operand

@@ -1,0 +1,169 @@
+"""Tests for the generic by-table algorithm (:mod:`repro.core.bytable`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.answers import (
+    DistributionAnswer,
+    ExpectedValueAnswer,
+    GroupedAnswer,
+    RangeAnswer,
+)
+from repro.core.bytable import (
+    by_table_answer,
+    by_table_results,
+    combine_results,
+    combine_scalar_results,
+    memory_executor,
+    sqlite_executor,
+)
+from repro.core.semantics import AggregateSemantics
+from repro.data import ebay, realestate
+from repro.exceptions import EvaluationError
+from repro.sql.parser import parse_query
+from repro.storage.sqlite_backend import SQLiteBackend
+
+
+class TestCombineScalarResults:
+    def test_range(self):
+        answer = combine_scalar_results(
+            [(3, 0.6), (1, 0.4)], AggregateSemantics.RANGE
+        )
+        assert answer == RangeAnswer(1, 3)
+
+    def test_distribution_merges_equal_values(self):
+        answer = combine_scalar_results(
+            [(5, 0.25), (5, 0.25), (7, 0.5)], AggregateSemantics.DISTRIBUTION
+        )
+        assert answer.distribution.probability_of(5) == pytest.approx(0.5)
+
+    def test_expected_value(self):
+        answer = combine_scalar_results(
+            [(3, 0.6), (1, 0.4)], AggregateSemantics.EXPECTED_VALUE
+        )
+        assert answer.value == pytest.approx(2.2)
+
+    def test_undefined_mass_recorded(self):
+        answer = combine_scalar_results(
+            [(None, 0.6), (10, 0.4)], AggregateSemantics.DISTRIBUTION
+        )
+        assert answer.undefined_probability == pytest.approx(0.6)
+        assert answer.distribution.probability_of(10) == pytest.approx(1.0)
+
+    def test_expected_value_conditions_on_defined(self):
+        answer = combine_scalar_results(
+            [(None, 0.5), (10, 0.5)], AggregateSemantics.EXPECTED_VALUE
+        )
+        assert answer.value == pytest.approx(10.0)
+
+    def test_all_undefined(self):
+        for semantics, expected in [
+            (AggregateSemantics.RANGE, RangeAnswer(None, None)),
+            (AggregateSemantics.EXPECTED_VALUE, ExpectedValueAnswer(None)),
+        ]:
+            assert combine_scalar_results([(None, 1.0)], semantics) == expected
+        dist = combine_scalar_results(
+            [(None, 1.0)], AggregateSemantics.DISTRIBUTION
+        )
+        assert not dist.is_defined
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            combine_results([], AggregateSemantics.RANGE)
+
+
+class TestCombineGroupedResults:
+    def test_union_of_groups(self):
+        results = [
+            ({"a": 1, "b": 2}, 0.5),
+            ({"a": 3}, 0.5),
+        ]
+        answer = combine_results(results, AggregateSemantics.RANGE)
+        assert isinstance(answer, GroupedAnswer)
+        assert answer["a"] == RangeAnswer(1, 3)
+        # Group b is undefined under the second mapping.
+        assert answer["b"] == RangeAnswer(2, 2)
+
+    def test_grouped_distribution_undefined_mass(self):
+        results = [({"a": 1}, 0.5), ({}, 0.5)]
+        answer = combine_results(results, AggregateSemantics.DISTRIBUTION)
+        assert answer["a"].undefined_probability == pytest.approx(0.5)
+
+    def test_mixed_scalar_and_grouped_rejected(self):
+        with pytest.raises(EvaluationError, match="grouped"):
+            combine_results([({"a": 1}, 0.5), (3, 0.5)],
+                            AggregateSemantics.RANGE)
+
+
+class TestByTableEndToEnd:
+    def test_results_per_mapping(self, ds1, q1, pm1):
+        results = by_table_results(q1, pm1, memory_executor({"S1": ds1}))
+        assert results == [(3, 0.6), (1, 0.4)]
+
+    def test_memory_and_sqlite_agree_on_q1(self, ds1, q1, pm1):
+        memory = by_table_answer(
+            q1, pm1, memory_executor({"S1": ds1}), AggregateSemantics.DISTRIBUTION
+        )
+        with SQLiteBackend() as backend:
+            backend.materialize(ds1)
+            sqlite = by_table_answer(
+                q1, pm1, sqlite_executor(backend), AggregateSemantics.DISTRIBUTION
+            )
+        assert memory.approx_equal(sqlite)
+
+    def test_memory_and_sqlite_agree_on_nested_q2(self, ds2, q2, pm2):
+        memory = by_table_answer(
+            q2, pm2, memory_executor({"S2": ds2}), AggregateSemantics.EXPECTED_VALUE
+        )
+        with SQLiteBackend() as backend:
+            backend.materialize(ds2)
+            sqlite = by_table_answer(
+                q2, pm2, sqlite_executor(backend),
+                AggregateSemantics.EXPECTED_VALUE,
+            )
+        assert memory.value == pytest.approx(sqlite.value)
+
+    def test_grouped_by_table(self, ds2, pm2):
+        q = parse_query("SELECT MAX(price) FROM T2 GROUP BY auctionID")
+        answer = by_table_answer(
+            q, pm2, memory_executor({"S2": ds2}), AggregateSemantics.RANGE
+        )
+        assert isinstance(answer, GroupedAnswer)
+        assert answer[34] == RangeAnswer(336.94, 349.99)
+        assert answer[38] == RangeAnswer(438.05, 439.95)
+
+    def test_grouped_by_table_sqlite_agrees(self, ds2, pm2):
+        q = parse_query("SELECT MAX(price) FROM T2 GROUP BY auctionID")
+        memory = by_table_answer(
+            q, pm2, memory_executor({"S2": ds2}), AggregateSemantics.RANGE
+        )
+        with SQLiteBackend() as backend:
+            backend.materialize(ds2)
+            sqlite = by_table_answer(
+                q, pm2, sqlite_executor(backend), AggregateSemantics.RANGE
+            )
+        assert memory == sqlite
+
+    def test_date_valued_min_from_sqlite(self, ds1):
+        # MIN over a DATE attribute comes back as a date from both paths.
+        import datetime
+
+        pm = realestate.paper_pmapping()
+        q = parse_query("SELECT MIN(date) FROM T1")
+        with SQLiteBackend() as backend:
+            backend.materialize(ds1)
+            answer = by_table_answer(
+                q, pm, sqlite_executor(backend), AggregateSemantics.RANGE
+            )
+        assert answer.low == datetime.date(2008, 1, 1)
+
+    def test_sum_distribution_equals_paper_values(self, ds2, q2_prime, pm2):
+        answer = by_table_answer(
+            q2_prime,
+            pm2,
+            memory_executor({"S2": ds2}),
+            AggregateSemantics.DISTRIBUTION,
+        )
+        assert answer.distribution.probability_of(1076.93) == pytest.approx(0.3)
+        assert answer.distribution.probability_of(931.94) == pytest.approx(0.7)

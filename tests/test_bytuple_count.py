@@ -1,0 +1,135 @@
+"""Tests for by-tuple COUNT (Figures 2-3) including naive cross-checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.answers import GroupedAnswer
+from repro.core.bytuple_count import (
+    by_tuple_distribution_count,
+    by_tuple_expected_count,
+    by_tuple_range_count,
+    count_distribution_dp,
+)
+from repro.core.naive import naive_by_tuple_answer
+from repro.core.semantics import AggregateSemantics
+from repro.exceptions import EvaluationError
+from repro.sql.parser import parse_query
+from tests.conftest import small_problems
+
+COUNT_QUERY = "SELECT COUNT(*) FROM {t} WHERE value < {c}"
+
+
+class TestCountDistributionDP:
+    def test_poisson_binomial_two_tuples(self):
+        d = count_distribution_dp([0.5, 0.5])
+        assert d.probability_of(0) == pytest.approx(0.25)
+        assert d.probability_of(1) == pytest.approx(0.5)
+        assert d.probability_of(2) == pytest.approx(0.25)
+
+    def test_certain_tuples_shift(self):
+        d = count_distribution_dp([1.0, 1.0, 0.0])
+        assert d.support == (2,)
+
+    def test_empty_input(self):
+        d = count_distribution_dp([])
+        assert d.support == (0,)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(EvaluationError):
+            count_distribution_dp([1.5])
+
+    def test_expected_value_is_sum_of_probabilities(self):
+        occurrences = [0.1, 0.7, 0.3, 0.9]
+        d = count_distribution_dp(occurrences)
+        assert d.expected_value() == pytest.approx(sum(occurrences))
+
+    def test_trace_records_every_step(self):
+        trace: list[dict] = []
+        count_distribution_dp([0.5, 0.25], trace=trace)
+        assert len(trace) == 2
+        assert sum(trace[-1]["probabilities"]) == pytest.approx(1.0)
+
+
+class TestGroupedCount:
+    def test_grouped_range(self, ds2, pm2):
+        q = parse_query(
+            "SELECT COUNT(*) FROM T2 WHERE price > 330 GROUP BY auctionID"
+        )
+        answer = by_tuple_range_count(ds2, pm2, q)
+        assert isinstance(answer, GroupedAnswer)
+        # auction 34: bids>330: t3,t4; currentPrice>330: t4 only.
+        assert answer[34].as_tuple() == (1, 2)
+        # auction 38: bids>330: all 4; currentPrice>330: 3 of 4.
+        assert answer[38].as_tuple() == (3, 4)
+
+    def test_grouped_distribution_sums_to_one(self, ds2, pm2):
+        q = parse_query(
+            "SELECT COUNT(*) FROM T2 WHERE price > 330 GROUP BY auctionID"
+        )
+        answer = by_tuple_distribution_count(ds2, pm2, q)
+        for _, group_answer in answer:
+            total = sum(p for _, p in group_answer.distribution.items())
+            assert total == pytest.approx(1.0)
+
+    def test_grouped_expected(self, ds2, pm2):
+        q = parse_query(
+            "SELECT COUNT(*) FROM T2 WHERE price > 330 GROUP BY auctionID"
+        )
+        answer = by_tuple_expected_count(ds2, pm2, q)
+        assert answer[34].value == pytest.approx(0.3 * 2 + 0.7 * 1)
+
+
+class TestAgainstNaive:
+    @settings(max_examples=60, deadline=None)
+    @given(small_problems())
+    def test_range_matches_naive(self, problem):
+        query = problem.query(COUNT_QUERY)
+        fast = by_tuple_range_count(problem.table, problem.pmapping, query)
+        naive = naive_by_tuple_answer(
+            problem.table, problem.pmapping, query, AggregateSemantics.RANGE
+        )
+        assert fast == naive
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_problems())
+    def test_distribution_matches_naive(self, problem):
+        query = problem.query(COUNT_QUERY)
+        fast = by_tuple_distribution_count(
+            problem.table, problem.pmapping, query
+        )
+        naive = naive_by_tuple_answer(
+            problem.table, problem.pmapping, query,
+            AggregateSemantics.DISTRIBUTION,
+        )
+        assert fast.approx_equal(naive, 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_problems())
+    def test_expected_methods_agree(self, problem):
+        query = problem.query(COUNT_QUERY)
+        via_dp = by_tuple_expected_count(
+            problem.table, problem.pmapping, query, method="distribution"
+        )
+        via_linear = by_tuple_expected_count(
+            problem.table, problem.pmapping, query, method="linear"
+        )
+        assert via_dp.value == pytest.approx(via_linear.value, abs=1e-9)
+
+    def test_unknown_method_rejected(self, ds1, q1, pm1):
+        with pytest.raises(EvaluationError, match="method"):
+            by_tuple_expected_count(ds1, pm1, q1, method="psychic")
+
+
+class TestCountOfColumn:
+    def test_count_argument_skips_nulls(self, pm1, ds1):
+        # COUNT(date): under m11 counts non-null postedDate, etc.
+        from repro.storage.table import Table
+
+        table = Table(ds1.relation, list(ds1.rows))
+        table.append((5, 1.0, "000", None, None))
+        q = parse_query("SELECT COUNT(date) FROM T1")
+        answer = by_tuple_range_count(table, pm1, q)
+        # The new tuple has NULL under both mappings: it never counts.
+        assert answer.as_tuple() == (4, 4)

@@ -1,0 +1,63 @@
+"""Tests for the command-line entry point (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+        assert "ALL SHAPE CHECKS PASSED" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "PTIME" in capsys.readouterr().out
+
+    def test_fig7_tiny(self, capsys, monkeypatch):
+        # Patch the experiment to a tiny configuration so the CLI wiring is
+        # exercised without a long sweep.
+        from repro.bench import experiments
+
+        calls = {}
+
+        def tiny_figure7(**kwargs):
+            calls.update(kwargs)
+            return True
+
+        monkeypatch.setattr(experiments, "figure7", tiny_figure7)
+        assert main(["fig7", "--seed", "3", "--timeout", "1.5"]) == 0
+        assert calls["seed"] == 3
+        assert calls["timeout"] == 1.5
+
+    def test_full_flag_changes_scale(self, monkeypatch):
+        from repro.bench import experiments
+
+        calls = {}
+
+        def tiny_figure11(**kwargs):
+            calls.update(kwargs)
+            return True
+
+        monkeypatch.setattr(experiments, "figure11", tiny_figure11)
+        assert main(["fig11", "--full"]) == 0
+        assert calls["vectorized"] is True
+        assert max(calls["tuple_counts"]) == 5_000_000
+
+    def test_failure_exit_code(self, monkeypatch):
+        from repro.bench import experiments
+
+        monkeypatch.setattr(experiments, "figure8", lambda **kwargs: False)
+        assert main(["fig8"]) == 1

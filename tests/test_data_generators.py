@@ -1,0 +1,154 @@
+"""Tests for the workload generators (:mod:`repro.data`)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.data import ebay, realestate, synthetic
+from repro.exceptions import MappingError
+from repro.sql.ast import AggregateOp
+
+
+class TestRealEstateGenerator:
+    def test_reproducible(self):
+        a = realestate.generate_listings(50, seed=3)
+        b = realestate.generate_listings(50, seed=3)
+        assert a == b
+
+    def test_size_and_schema(self):
+        table = realestate.generate_listings(25)
+        assert len(table) == 25
+        assert table.relation == realestate.S1_RELATION
+
+    def test_reduction_follows_posting(self):
+        table = realestate.generate_listings(200, seed=1)
+        for row in table:
+            assert row["reducedDate"] > row["postedDate"]
+
+    def test_prices_positive(self):
+        table = realestate.generate_listings(100, seed=2)
+        assert all(row["price"] > 0 for row in table)
+
+    def test_posting_window(self):
+        start = datetime.date(2008, 1, 1)
+        table = realestate.generate_listings(
+            100, seed=4, start=start, posting_window_days=10
+        )
+        for row in table:
+            assert start <= row["postedDate"] < start + datetime.timedelta(days=10)
+
+
+class TestEbaySimulator:
+    def test_reproducible(self):
+        assert ebay.generate_auctions(5, seed=9) == ebay.generate_auctions(5, seed=9)
+
+    def test_schema(self):
+        table = ebay.generate_auctions(3, mean_bids=5, seed=0)
+        assert table.relation == ebay.S2_RELATION
+
+    def test_auction_count(self):
+        table = ebay.generate_auctions(4, mean_bids=5, seed=0)
+        assert len(table.distinct("auction")) == 4
+
+    def test_times_sorted_within_auction(self):
+        table = ebay.generate_auctions(3, mean_bids=10, seed=1)
+        for auction in table.distinct("auction"):
+            times = [r["time"] for r in table if r["auction"] == auction]
+            assert times == sorted(times)
+
+    def test_times_within_duration(self):
+        table = ebay.generate_auctions(3, mean_bids=10, seed=2,
+                                       duration_days=3.0)
+        assert all(0.0 <= r["time"] <= 3.0 for r in table)
+
+    def test_second_price_invariant(self):
+        # The listed price never exceeds the highest proxy bid so far, and
+        # trails it by at most one increment above the second-highest.
+        table = ebay.generate_auctions(5, mean_bids=20, seed=3)
+        for auction in table.distinct("auction"):
+            rows = [r for r in table if r["auction"] == auction]
+            highest = 0.0
+            for row in rows:
+                highest = max(highest, row["bid"])
+                assert row["currentPrice"] <= highest + 1e-9
+
+    def test_transaction_id_convention(self):
+        table = ebay.generate_auctions(2, mean_bids=3, seed=4)
+        first = table.row(0)
+        assert first["transactionID"] // 100_000 == first["auction"]
+
+    def test_minimum_bids(self):
+        table = ebay.generate_auctions(10, mean_bids=1, seed=5, min_bids=2)
+        for auction in table.distinct("auction"):
+            count = sum(1 for r in table if r["auction"] == auction)
+            assert count >= 2
+
+    def test_prefix_helper(self):
+        table = ebay.generate_auctions(3, mean_bids=10, seed=6)
+        assert len(ebay.auction_prefix(table, 7)) == 7
+
+
+class TestSyntheticGenerator:
+    def test_relation_shape(self):
+        relation = synthetic.source_relation(5)
+        assert relation.attribute_names == ("id", "a1", "a2", "a3", "a4", "a5")
+
+    def test_table_reproducible(self):
+        a = synthetic.generate_source_table(100, 4, seed=7)
+        b = synthetic.generate_source_table(100, 4, seed=7)
+        assert a == b
+
+    def test_value_bounds(self):
+        table = synthetic.generate_source_table(200, 3, seed=8, low=10, high=20)
+        for row in table:
+            for name in ("a1", "a2", "a3"):
+                assert 10 <= row[name] <= 20
+
+    def test_ids_sequential(self):
+        table = synthetic.generate_source_table(5, 2, seed=0)
+        assert table.column("id") == (1, 2, 3, 4, 5)
+
+    def test_pmapping_valid_and_distinct(self):
+        relation = synthetic.source_relation(6)
+        pm = synthetic.generate_pmapping(relation, 4, seed=11)
+        assert len(pm) == 4
+        assert sum(pm.probabilities) == pytest.approx(1.0)
+        sources = {m.source_for("value") for m in pm.mappings}
+        assert len(sources) == 4
+
+    def test_pmapping_too_many_mappings(self):
+        relation = synthetic.source_relation(2)
+        with pytest.raises(MappingError, match="distinct"):
+            synthetic.generate_pmapping(relation, 3)
+
+    def test_pmapping_explicit_probabilities(self):
+        relation = synthetic.source_relation(3)
+        pm = synthetic.generate_pmapping(
+            relation, 2, probabilities=[0.25, 0.75]
+        )
+        assert pm.probabilities == (0.25, 0.75)
+
+    def test_pmapping_probability_arity_check(self):
+        relation = synthetic.source_relation(3)
+        with pytest.raises(MappingError, match="probabilities"):
+            synthetic.generate_pmapping(relation, 2, probabilities=[1.0])
+
+    def test_workload_queries_parse_and_run(self):
+        from repro.core.engine import AggregationEngine
+
+        workload = synthetic.generate_workload(50, 4, 3, seed=12)
+        engine = AggregationEngine([workload.table], workload.pmapping)
+        for op in AggregateOp:
+            answer = engine.answer(workload.query(op), "by-tuple", "range")
+            assert answer is not None
+
+    def test_random_probabilities_sum_to_one(self):
+        import random
+
+        rng = random.Random(0)
+        for count in (1, 2, 7, 30):
+            probs = synthetic.random_probabilities(count, rng)
+            assert sum(probs) == pytest.approx(1.0, abs=1e-12)
+            assert all(p > 0 for p in probs)

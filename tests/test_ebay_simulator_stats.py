@@ -1,0 +1,102 @@
+"""Statistical checks on the second-price auction simulator.
+
+These pin the properties that make the generated trace a faithful
+substitute for the paper's eBay data: per-auction bid volume matches the
+configured mean, the listed currentPrice follows second-price mechanics
+(trailing the top proxy bid by at most one increment above the runner-up),
+and the bid/currentPrice ambiguity the p-mapping models is structurally
+present (currentPrice <= running max bid).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.data import ebay
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return ebay.generate_auctions(200, mean_bids=20, seed=42)
+
+
+def per_auction_rows(table):
+    auctions: dict[int, list] = {}
+    for row in table.iter_rows():
+        auctions.setdefault(row["auction"], []).append(row)
+    return auctions
+
+
+class TestVolume:
+    def test_mean_bids_near_configured(self, trace):
+        auctions = per_auction_rows(trace)
+        mean = statistics.fmean(len(rows) for rows in auctions.values())
+        # Exponential-ish spread around the mean; 30% tolerance at n=200.
+        assert 14 <= mean <= 26
+
+    def test_all_auctions_present(self, trace):
+        assert len(per_auction_rows(trace)) == 200
+
+    def test_paper_scale_parameters_documented(self):
+        # The paper's trace: 1,129 auctions, 155,688 bids (~138 each);
+        # the generator reproduces that density when asked.
+        sample = ebay.generate_auctions(30, mean_bids=138.0, seed=7)
+        auctions = per_auction_rows(sample)
+        mean = statistics.fmean(len(rows) for rows in auctions.values())
+        assert 90 <= mean <= 190
+
+
+class TestSecondPriceMechanics:
+    def test_current_price_never_exceeds_running_max_bid(self, trace):
+        for rows in per_auction_rows(trace).values():
+            running_max = 0.0
+            for row in rows:
+                running_max = max(running_max, row["bid"])
+                assert row["currentPrice"] <= running_max + 1e-9
+
+    def test_current_price_is_second_plus_increment_capped(self, trace):
+        increment = 2.5
+        for rows in per_auction_rows(trace).values():
+            top = second = 0.0
+            for index, row in enumerate(rows):
+                bid = row["bid"]
+                if bid > top:
+                    second, top = top, bid
+                elif bid > second:
+                    second = bid
+                if index == 0:
+                    continue  # the opening price seeds top/second
+                expected = round(min(top, second + increment), 2)
+                assert row["currentPrice"] == pytest.approx(expected, abs=0.011)
+
+    def test_ambiguity_is_real(self, trace):
+        # The p-mapping models genuine confusion: the two columns must
+        # frequently disagree, or the mapping choice would not matter.
+        differing = sum(
+            1 for row in trace.iter_rows()
+            if abs(row["bid"] - row["currentPrice"]) > 0.01
+        )
+        assert differing / len(trace) > 0.5
+
+    def test_aggregates_diverge_between_mappings(self, trace):
+        # The by-table SUM under the two mappings must differ noticeably:
+        # bids systematically exceed listed prices.
+        total_bid = sum(row["bid"] for row in trace.iter_rows())
+        total_current = sum(row["currentPrice"] for row in trace.iter_rows())
+        assert total_bid > total_current
+
+
+class TestDeterminismAndShape:
+    def test_different_seeds_differ(self):
+        a = ebay.generate_auctions(5, mean_bids=5, seed=1)
+        b = ebay.generate_auctions(5, mean_bids=5, seed=2)
+        assert a != b
+
+    def test_bids_positive(self, trace):
+        assert all(row["bid"] > 0 for row in trace.iter_rows())
+
+    def test_transaction_ids_unique(self, trace):
+        ids = trace.column("transactionID")
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,220 @@
+"""Tests for the certain-query evaluator (:mod:`repro.core.eval`).
+
+Includes the cross-substrate invariant: the in-memory evaluator and the
+SQLite backend must return identical answers for every reformulated query.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.eval import apply_aggregate, evaluate_certain
+from repro.data import ebay, realestate
+from repro.exceptions import (
+    EvaluationError,
+    StorageError,
+    UnsupportedQueryError,
+)
+from repro.schema.model import Attribute, AttributeType, Relation
+from repro.sql.ast import AggregateOp
+from repro.sql.parser import parse_query
+from repro.sql.reformulate import reformulate_query
+from repro.sql.render import executable_sql
+from repro.storage.sqlite_backend import SQLiteBackend
+from repro.storage.table import Table
+
+
+class TestApplyAggregate:
+    def test_count_star(self):
+        assert apply_aggregate(AggregateOp.COUNT, (), count_star=5) == 5
+
+    def test_count_skips_nulls(self):
+        assert apply_aggregate(AggregateOp.COUNT, [1, None, 2]) == 2
+
+    def test_count_distinct(self):
+        assert apply_aggregate(AggregateOp.COUNT, [1, 1, 2], distinct=True) == 2
+
+    def test_sum_avg_min_max(self):
+        values = [1.0, 2.0, 3.0]
+        assert apply_aggregate(AggregateOp.SUM, values) == 6.0
+        assert apply_aggregate(AggregateOp.AVG, values) == 2.0
+        assert apply_aggregate(AggregateOp.MIN, values) == 1.0
+        assert apply_aggregate(AggregateOp.MAX, values) == 3.0
+
+    def test_sum_distinct(self):
+        assert apply_aggregate(AggregateOp.SUM, [2.0, 2.0, 3.0], distinct=True) == 5.0
+
+    def test_empty_input_null_for_value_aggregates(self):
+        for op in (AggregateOp.SUM, AggregateOp.AVG, AggregateOp.MIN,
+                   AggregateOp.MAX):
+            assert apply_aggregate(op, []) is None
+        assert apply_aggregate(AggregateOp.COUNT, []) == 0
+
+    def test_all_null_input(self):
+        assert apply_aggregate(AggregateOp.SUM, [None, None]) is None
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(EvaluationError):
+            apply_aggregate(AggregateOp.SUM, (), count_star=3)
+
+    def test_integer_sum_stays_integral(self):
+        assert apply_aggregate(AggregateOp.SUM, [1, 2, 3]) == 6
+
+
+class TestEvaluateCertain:
+    def test_q11_counts_three(self, ds1):
+        q11 = parse_query(
+            "SELECT COUNT(*) FROM S1 WHERE postedDate < '2008-1-20'"
+        )
+        assert evaluate_certain(q11, {"S1": ds1}) == 3
+
+    def test_q12_counts_one(self, ds1):
+        q12 = parse_query(
+            "SELECT COUNT(*) FROM S1 WHERE reducedDate < '2008-1-20'"
+        )
+        assert evaluate_certain(q12, {"S1": ds1}) == 1
+
+    def test_group_by(self, ds2):
+        q = parse_query("SELECT MAX(bid) FROM S2 GROUP BY auction")
+        result = evaluate_certain(q, {"S2": ds2})
+        assert result == {34: 349.99, 38: 439.95}
+
+    def test_group_by_with_where(self, ds2):
+        q = parse_query(
+            "SELECT COUNT(*) FROM S2 WHERE bid > 300 GROUP BY auction"
+        )
+        assert evaluate_certain(q, {"S2": ds2}) == {34: 2, 38: 4}
+
+    def test_nested_avg_of_max(self, ds2):
+        q21 = reformulate_query(parse_query(ebay.Q2), ebay.mapping_m21())
+        value = evaluate_certain(q21, {"S2": ds2})
+        assert value == pytest.approx((349.99 + 439.95) / 2)
+
+    def test_nested_over_scalar_inner(self, ds2):
+        q = parse_query(
+            "SELECT AVG(R1.bid) FROM (SELECT MAX(R2.bid) FROM S2 AS R2) AS R1"
+        )
+        assert evaluate_certain(q, {"S2": ds2}) == 439.95
+
+    def test_empty_selection_returns_none_for_max(self, ds2):
+        q = parse_query("SELECT MAX(bid) FROM S2 WHERE bid > 99999")
+        assert evaluate_certain(q, {"S2": ds2}) is None
+
+    def test_unknown_table(self):
+        q = parse_query("SELECT COUNT(*) FROM Ghost")
+        with pytest.raises(StorageError, match="unknown relation"):
+            evaluate_certain(q, {})
+
+    def test_alias_binding(self, ds2):
+        q = parse_query("SELECT SUM(R.bid) FROM S2 AS R WHERE R.auction = 34")
+        assert evaluate_certain(q, {"S2": ds2}) == pytest.approx(1076.93)
+
+    def test_wrong_qualifier_rejected(self, ds2):
+        q = parse_query("SELECT SUM(X.bid) FROM S2 AS R")
+        with pytest.raises(EvaluationError, match="qualifier"):
+            evaluate_certain(q, {"S2": ds2})
+
+    def test_double_nesting_rejected(self):
+        q = parse_query(
+            "SELECT AVG(R1.x) FROM (SELECT MAX(R2.x) FROM "
+            "(SELECT MIN(R3.x) FROM T AS R3) AS R2) AS R1"
+        )
+        with pytest.raises(UnsupportedQueryError, match="nested"):
+            evaluate_certain(q, {})
+
+    def test_outer_group_by_rejected(self, ds2):
+        q = parse_query(
+            "SELECT AVG(R1.bid) FROM (SELECT MAX(R2.bid) FROM S2 AS R2) "
+            "AS R1 GROUP BY auction"
+        )
+        with pytest.raises(UnsupportedQueryError):
+            evaluate_certain(q, {"S2": ds2})
+
+
+RELATION = Relation(
+    "T",
+    [
+        Attribute("g", AttributeType.INT),
+        Attribute("x", AttributeType.REAL),
+        Attribute("y", AttributeType.REAL),
+    ],
+)
+
+
+def _random_table(rng: random.Random) -> Table:
+    rows = [
+        (
+            rng.randint(0, 3),
+            rng.choice([None, float(rng.randint(-5, 9))]),
+            float(rng.randint(-5, 9)),
+        )
+        for _ in range(rng.randint(0, 25))
+    ]
+    return Table(RELATION, rows)
+
+
+def _random_query(rng: random.Random) -> str:
+    op = rng.choice(["COUNT", "SUM", "AVG", "MIN", "MAX"])
+    argument = "*" if op == "COUNT" and rng.random() < 0.3 else rng.choice(["x", "y"])
+    distinct = "DISTINCT " if argument != "*" and rng.random() < 0.3 else ""
+    where = ""
+    if rng.random() < 0.7:
+        comparisons = [
+            f"{rng.choice(['x', 'y'])} {rng.choice(['<', '<=', '=', '>', '>=', '<>'])} "
+            f"{rng.randint(-5, 9)}"
+            for _ in range(rng.randint(1, 2))
+        ]
+        where = " WHERE " + rng.choice([" AND ", " OR "]).join(comparisons)
+    group = " GROUP BY g" if rng.random() < 0.4 else ""
+    return f"SELECT {op}({distinct}{argument}) FROM T{where}{group}"
+
+
+class TestMemoryMatchesSQLite:
+    """Invariant 9: both substrates answer every query identically."""
+
+    def test_many_random_queries(self):
+        rng = random.Random(42)
+        for trial in range(60):
+            table = _random_table(rng)
+            query = parse_query(_random_query(rng))
+            memory = evaluate_certain(query, {"T": table})
+            with SQLiteBackend() as backend:
+                backend.materialize(table)
+                sql = executable_sql(query, {"T": RELATION})
+                rows = backend.query(sql)
+                if query.group_by is not None:
+                    sqlite_result = {row[0]: row[1] for row in rows}
+                else:
+                    sqlite_result = rows[0][0] if rows else None
+            if isinstance(memory, dict):
+                assert set(memory) == set(sqlite_result), query.to_sql()
+                for key, value in memory.items():
+                    assert sqlite_result[key] == pytest.approx(value), (
+                        query.to_sql()
+                    )
+            elif memory is None:
+                assert sqlite_result is None, query.to_sql()
+            else:
+                assert sqlite_result == pytest.approx(memory), query.to_sql()
+
+    def test_paper_queries_match(self, ds1, ds2):
+        cases = [
+            (ds1, "S1", realestate.S1_RELATION,
+             "SELECT COUNT(*) FROM S1 WHERE postedDate < '2008-1-20'"),
+            (ds2, "S2", ebay.S2_RELATION,
+             "SELECT SUM(bid) FROM S2 WHERE auction = 34"),
+            (ds2, "S2", ebay.S2_RELATION,
+             "SELECT MAX(DISTINCT currentPrice) FROM S2 GROUP BY auction"),
+        ]
+        for table, name, relation, text in cases:
+            query = parse_query(text)
+            memory = evaluate_certain(query, {name: table})
+            with SQLiteBackend() as backend:
+                backend.materialize(table)
+                rows = backend.query(executable_sql(query, {name: relation}))
+                if query.group_by is not None:
+                    assert {r[0]: r[1] for r in rows} == memory
+                else:
+                    assert rows[0][0] == pytest.approx(memory)

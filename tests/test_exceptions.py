@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy (:mod:`repro.exceptions`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(exceptions):
+            candidate = getattr(exceptions, name)
+            if isinstance(candidate, type) and issubclass(candidate, Exception):
+                assert issubclass(candidate, exceptions.ReproError), name
+
+    def test_intractable_is_evaluation_error(self):
+        assert issubclass(exceptions.IntractableError, exceptions.EvaluationError)
+
+    def test_one_catch_covers_the_library(self, ds1, pm1):
+        from repro.core.engine import AggregationEngine
+
+        engine = AggregationEngine([ds1], pm1)
+        with pytest.raises(exceptions.ReproError):
+            engine.answer("SELECT AVG(listPrice) FROM T1", "by-tuple",
+                          "distribution")
+        with pytest.raises(exceptions.ReproError):
+            engine.answer("not even sql", "by-table", "range")
+        with pytest.raises(exceptions.ReproError):
+            engine.answer("SELECT COUNT(*) FROM Unknown", "by-table", "range")
+
+
+class TestSQLSyntaxErrorPosition:
+    def test_position_in_message(self):
+        error = exceptions.SQLSyntaxError("boom", position=17)
+        assert "17" in str(error)
+        assert error.position == 17
+
+    def test_no_position(self):
+        error = exceptions.SQLSyntaxError("boom")
+        assert error.position is None
+        assert str(error) == "boom"

@@ -1,0 +1,170 @@
+"""End-to-end tests for :class:`repro.schema.matcher.SchemaMatcher`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import AggregationEngine
+from repro.data import ebay, realestate
+from repro.exceptions import MappingError
+from repro.schema.correspondence import AttributeCorrespondence
+from repro.schema.matcher import MatcherConfig, SchemaMatcher
+
+KNOWN_REALESTATE = [
+    AttributeCorrespondence("ID", "propertyID"),
+    AttributeCorrespondence("price", "listPrice"),
+    AttributeCorrespondence("agentPhone", "phone"),
+]
+
+KNOWN_EBAY = [
+    AttributeCorrespondence("transactionID", "transaction"),
+    AttributeCorrespondence("auction", "auctionID"),
+    AttributeCorrespondence("time", "timeUpdate"),
+]
+
+
+class TestConfig:
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(MappingError):
+            MatcherConfig(top_k=0)
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(MappingError):
+            MatcherConfig(temperature=0.0)
+
+
+class TestValidation:
+    def test_unknown_known_source(self):
+        with pytest.raises(MappingError, match="not in"):
+            SchemaMatcher(
+                realestate.S1_RELATION,
+                realestate.T1_RELATION,
+                known=[AttributeCorrespondence("ghost", "date")],
+            )
+
+    def test_unknown_known_target(self):
+        with pytest.raises(MappingError, match="not in"):
+            SchemaMatcher(
+                realestate.S1_RELATION,
+                realestate.T1_RELATION,
+                known=[AttributeCorrespondence("ID", "ghost")],
+            )
+
+
+class TestRealEstateScenario:
+    """The matcher should rediscover the paper's Example 1 uncertainty."""
+
+    @pytest.fixture
+    def pmapping(self):
+        matcher = SchemaMatcher(
+            realestate.paper_instance(),
+            realestate.T1_RELATION,
+            known=KNOWN_REALESTATE,
+            config=MatcherConfig(top_k=2, temperature=0.05),
+        )
+        return matcher.pmapping()
+
+    def test_two_candidates(self, pmapping):
+        assert len(pmapping) == 2
+
+    def test_both_candidates_map_a_date(self, pmapping):
+        sources = {m.source_for("date") for m in pmapping.mappings}
+        assert sources == {"postedDate", "reducedDate"}
+
+    def test_known_correspondences_pinned(self, pmapping):
+        for mapping in pmapping.mappings:
+            assert mapping.source_for("propertyID") == "ID"
+            assert mapping.source_for("listPrice") == "price"
+            assert mapping.source_for("phone") == "agentPhone"
+
+    def test_probabilities_form_distribution(self, pmapping):
+        assert sum(pmapping.probabilities) == pytest.approx(1.0)
+        assert all(p > 0 for p in pmapping.probabilities)
+
+    def test_produced_pmapping_answers_queries(self, pmapping):
+        engine = AggregationEngine([realestate.paper_instance()], pmapping)
+        answer = engine.answer(realestate.Q1, "by-tuple", "range")
+        assert answer.as_tuple() == (1, 3)
+
+
+class TestEbayScenario:
+    def test_price_ambiguity_found_via_instance_evidence(self):
+        # `bid` and `price` share no name tokens; what links them is the
+        # overlap of their value distributions, so this scenario needs a
+        # target instance (e.g. from another, already-integrated vendor).
+        from repro.storage.table import Table
+
+        target_instance = Table(
+            ebay.T2_RELATION,
+            [
+                (9001, 90, 0.5, 210.0),
+                (9002, 90, 1.5, 310.0),
+                (9003, 91, 2.0, 420.0),
+                (9004, 91, 2.5, 199.0),
+            ],
+        )
+        matcher = SchemaMatcher(
+            ebay.paper_instance(),
+            target_instance,
+            known=KNOWN_EBAY,
+            config=MatcherConfig(
+                top_k=2, temperature=0.05, threshold=0.3, name_weight=0.3
+            ),
+        )
+        pmapping = matcher.pmapping()
+        sources = {m.source_for("price") for m in pmapping.mappings}
+        assert sources == {"bid", "currentPrice"}
+
+
+class TestUnmatchedAttributes:
+    def test_comments_can_stay_unmapped(self):
+        # Nothing in S1 resembles `comments`; with the date pinned too, the
+        # best candidate should leave comments unmatched.
+        matcher = SchemaMatcher(
+            realestate.paper_instance(),
+            realestate.T1_RELATION,
+            known=KNOWN_REALESTATE
+            + [AttributeCorrespondence("postedDate", "date")],
+            config=MatcherConfig(top_k=1, threshold=0.5),
+        )
+        pmapping = matcher.pmapping()
+        best = pmapping.most_probable()
+        assert not best.maps_target("comments")
+
+    def test_no_free_targets(self):
+        matcher = SchemaMatcher(
+            realestate.paper_instance(),
+            realestate.T1_RELATION,
+            known=KNOWN_REALESTATE
+            + [
+                AttributeCorrespondence("postedDate", "date"),
+                AttributeCorrespondence("reducedDate", "comments"),
+            ],
+        )
+        pmapping = matcher.pmapping()
+        assert len(pmapping) == 1
+        assert pmapping.probabilities == (1.0,)
+
+
+class TestSimilarityMatrix:
+    def test_shape_excludes_pinned(self):
+        matcher = SchemaMatcher(
+            realestate.paper_instance(),
+            realestate.T1_RELATION,
+            known=KNOWN_REALESTATE,
+        )
+        targets, sources, matrix = matcher.similarity_matrix()
+        assert targets == ["date", "comments"]
+        assert sources == ["postedDate", "reducedDate"]
+        assert len(matrix) == 2 and len(matrix[0]) == 2
+
+    def test_relation_only_matching_uses_names(self):
+        matcher = SchemaMatcher(
+            realestate.S1_RELATION,
+            realestate.T1_RELATION,
+            known=KNOWN_REALESTATE,
+            config=MatcherConfig(top_k=2),
+        )
+        pmapping = matcher.pmapping()
+        sources = {m.source_for("date") for m in pmapping.mappings}
+        assert "postedDate" in sources or "reducedDate" in sources

@@ -1,0 +1,140 @@
+"""Tests for the similarity measures (:mod:`repro.schema.matcher.similarity`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schema.matcher.similarity import (
+    attribute_similarity,
+    instance_similarity,
+    levenshtein,
+    name_similarity,
+    token_overlap,
+    tokenize_name,
+    trigram_similarity,
+)
+
+
+class TestTokenize:
+    def test_camel_case(self):
+        assert tokenize_name("postedDate") == ["posted", "date"]
+
+    def test_snake_case(self):
+        assert tokenize_name("current_price") == ["current", "price"]
+
+    def test_mixed(self):
+        assert tokenize_name("agentPhone_number") == ["agent", "phone", "number"]
+
+    def test_digits_kept_with_token(self):
+        assert tokenize_name("price2") == ["price2"]
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_substitution(self):
+        assert levenshtein("abc", "abd") == 1
+
+    def test_insert_delete(self):
+        assert levenshtein("abc", "abcd") == 1
+        assert levenshtein("abcd", "abc") == 1
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+
+    @given(st.text(max_size=8), st.text(max_size=8))
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=8), st.text(max_size=8), st.text(max_size=8))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+class TestNameSimilarity:
+    def test_identical_names_score_one(self):
+        assert name_similarity("price", "price") == pytest.approx(1.0)
+
+    def test_shared_token_beats_unrelated(self):
+        assert name_similarity("postedDate", "date") > name_similarity(
+            "agentPhone", "date"
+        )
+
+    def test_paper_scenario_ordering(self):
+        # Both date columns should clearly beat price for target `date`.
+        for source in ("postedDate", "reducedDate"):
+            assert name_similarity(source, "date") > name_similarity(
+                "price", "date"
+            )
+
+    def test_empty_name(self):
+        assert name_similarity("", "x") == 0.0
+
+    @given(st.text(min_size=1, max_size=10), st.text(min_size=1, max_size=10))
+    def test_bounded(self, a, b):
+        assert 0.0 <= name_similarity(a, b) <= 1.0 + 1e-9
+
+    @given(st.text(min_size=1, max_size=10))
+    def test_reflexive(self, a):
+        assert name_similarity(a, a) == pytest.approx(1.0)
+
+
+class TestTrigramAndTokens:
+    def test_trigram_disjoint(self):
+        assert trigram_similarity("abc", "xyz") == 0.0
+
+    def test_token_overlap_none(self):
+        assert token_overlap("alpha", "beta") == 0.0
+
+    def test_token_overlap_full(self):
+        assert token_overlap("listPrice", "price_list") == 1.0
+
+
+class TestInstanceSimilarity:
+    def test_same_numeric_distribution(self):
+        values = [float(v) for v in range(100)]
+        assert instance_similarity(values, values) == pytest.approx(1.0)
+
+    def test_disjoint_ranges_score_low(self):
+        a = [1.0, 2.0, 3.0]
+        b = [1000.0, 2000.0, 3000.0]
+        assert instance_similarity(a, b) < 0.4
+
+    def test_type_mismatch_scores_low(self):
+        assert instance_similarity([1.0, 2.0], ["a", "b"]) == pytest.approx(0.1)
+
+    def test_no_evidence_neutral(self):
+        assert instance_similarity([], [1.0]) == 0.5
+        assert instance_similarity([None], [1.0]) == 0.5
+
+    def test_text_profiles(self):
+        phones = ["215", "342", "337"]
+        names = ["Greater Boston Realty", "Sunshine Homes LLC"]
+        assert instance_similarity(phones, phones) > instance_similarity(
+            phones, names
+        )
+
+
+class TestAttributeSimilarity:
+    def test_names_only_when_no_instances(self):
+        assert attribute_similarity("price", "listPrice") == pytest.approx(
+            name_similarity("price", "listPrice")
+        )
+
+    def test_instances_shift_score(self):
+        same = attribute_similarity(
+            "a", "b", [1.0, 2.0, 3.0], [1.0, 2.0, 3.0]
+        )
+        different = attribute_similarity(
+            "a", "b", [1.0, 2.0, 3.0], [900.0, 950.0]
+        )
+        assert same > different
+
+    def test_name_weight_extremes(self):
+        only_names = attribute_similarity(
+            "price", "price", [1.0], [999.0], name_weight=1.0
+        )
+        assert only_names == pytest.approx(1.0)

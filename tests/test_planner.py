@@ -1,0 +1,171 @@
+"""Tests for the planner and the Figure 6 matrix (:mod:`repro.core.planner`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import (
+    Complexity,
+    EvaluationRequest,
+    Planner,
+    complexity_matrix,
+    format_complexity_matrix,
+)
+from repro.core.bytable import memory_executor
+from repro.core.semantics import AggregateSemantics, MappingSemantics
+from repro.data import realestate
+from repro.exceptions import IntractableError
+from repro.sql.ast import AggregateOp
+from repro.sql.parser import parse_query
+
+
+class TestComplexityMatrix:
+    def test_thirty_cells(self):
+        assert len(complexity_matrix()) == 5 * 2 * 3
+
+    def test_by_table_always_ptime(self):
+        matrix = complexity_matrix()
+        for op in AggregateOp:
+            for sem in AggregateSemantics:
+                assert matrix[(op, MappingSemantics.BY_TABLE, sem)] == (
+                    Complexity.PTIME
+                )
+
+    def test_figure6_by_tuple_row(self):
+        matrix = complexity_matrix()
+        bt = MappingSemantics.BY_TUPLE
+        R, D, E = AggregateSemantics.RANGE, AggregateSemantics.DISTRIBUTION, \
+            AggregateSemantics.EXPECTED_VALUE
+        assert matrix[(AggregateOp.COUNT, bt, R)] == Complexity.PTIME
+        assert matrix[(AggregateOp.COUNT, bt, D)] == Complexity.PTIME
+        assert matrix[(AggregateOp.COUNT, bt, E)] == Complexity.PTIME
+        assert matrix[(AggregateOp.SUM, bt, R)] == Complexity.PTIME
+        assert matrix[(AggregateOp.SUM, bt, D)] == Complexity.OPEN
+        assert matrix[(AggregateOp.SUM, bt, E)] == Complexity.PTIME
+        for op in (AggregateOp.AVG, AggregateOp.MIN, AggregateOp.MAX):
+            assert matrix[(op, bt, R)] == Complexity.PTIME
+            assert matrix[(op, bt, D)] == Complexity.OPEN
+            assert matrix[(op, bt, E)] == Complexity.OPEN
+
+    def test_format_contains_all_operators(self):
+        text = format_complexity_matrix()
+        for op in AggregateOp:
+            assert op.value in text
+
+
+class TestPlannerPolicy:
+    def test_ptime_cells_always_served(self):
+        planner = Planner()
+        spec = planner.algorithm_for(
+            AggregateOp.COUNT, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.DISTRIBUTION,
+        )
+        assert spec.name == "ByTuplePDCOUNT"
+        assert spec.complexity == Complexity.PTIME
+
+    def test_by_table_always_served(self):
+        planner = Planner()
+        spec = planner.algorithm_for(
+            AggregateOp.AVG, MappingSemantics.BY_TABLE,
+            AggregateSemantics.DISTRIBUTION,
+        )
+        assert spec.name == "ByTableAggregateQuery"
+
+    def test_theorem4_cell(self):
+        spec = Planner().algorithm_for(
+            AggregateOp.SUM, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.EXPECTED_VALUE,
+        )
+        assert spec.name == "ByTupleExpValSUM"
+        assert "Theorem 4" in spec.paper_reference
+
+    def test_open_cell_rejected_by_default(self):
+        with pytest.raises(IntractableError, match="Figure 6"):
+            Planner().algorithm_for(
+                AggregateOp.AVG, MappingSemantics.BY_TUPLE,
+                AggregateSemantics.DISTRIBUTION,
+            )
+
+    def test_open_cell_with_exponential(self):
+        planner = Planner(allow_exponential=True)
+        spec = planner.algorithm_for(
+            AggregateOp.AVG, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.DISTRIBUTION,
+        )
+        assert spec.name == "NaiveSequenceEnumeration"
+        assert spec.exact
+
+    def test_open_cell_with_sampling(self):
+        planner = Planner(allow_sampling=True)
+        spec = planner.algorithm_for(
+            AggregateOp.AVG, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.EXPECTED_VALUE,
+        )
+        assert spec.name == "MonteCarloSampling"
+        assert not spec.exact
+
+    def test_exponential_preferred_over_sampling(self):
+        planner = Planner(allow_exponential=True, allow_sampling=True)
+        spec = planner.algorithm_for(
+            AggregateOp.MAX, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.DISTRIBUTION,
+        )
+        assert spec.name == "NaiveSequenceEnumeration"
+
+    def test_extensions_cover_minmax_only(self):
+        planner = Planner(use_extensions=True)
+        spec = planner.algorithm_for(
+            AggregateOp.MAX, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.DISTRIBUTION,
+        )
+        assert "Exact" in spec.name
+        with pytest.raises(IntractableError):
+            planner.algorithm_for(
+                AggregateOp.AVG, MappingSemantics.BY_TUPLE,
+                AggregateSemantics.DISTRIBUTION,
+            )
+
+    def test_complexity_of(self):
+        planner = Planner()
+        assert planner.complexity_of(
+            AggregateOp.SUM, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.DISTRIBUTION,
+        ) == Complexity.OPEN
+
+
+class TestSpecsRun:
+    """Every reachable spec actually answers Q1/derived queries."""
+
+    def _request(self):
+        table = realestate.paper_instance()
+        pmapping = realestate.paper_pmapping()
+        return EvaluationRequest(
+            table,
+            pmapping,
+            parse_query(realestate.Q1),
+            memory_executor({"S1": table}),
+            samples=200,
+            seed=0,
+        )
+
+    def test_all_cells_runnable_with_full_policy(self):
+        planner = Planner(allow_exponential=True)
+        request = self._request()
+        for mapping_sem in MappingSemantics:
+            for aggregate_sem in AggregateSemantics:
+                spec = planner.algorithm_for(
+                    AggregateOp.COUNT, mapping_sem, aggregate_sem
+                )
+                answer = spec.run(request)
+                assert answer is not None
+
+    def test_sampling_spec_runs(self):
+        planner = Planner(allow_sampling=True)
+        spec = planner.algorithm_for(
+            AggregateOp.MAX, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.DISTRIBUTION,
+        )
+        request = self._request()
+        request.query = parse_query("SELECT MAX(listPrice) FROM T1")
+        answer = spec.run(request)
+        assert answer is not None

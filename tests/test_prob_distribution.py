@@ -1,0 +1,199 @@
+"""Unit and property tests for :mod:`repro.prob.distribution`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import EvaluationError
+from repro.prob.distribution import DiscreteDistribution
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        d = DiscreteDistribution({3: 0.6, 2: 0.4})
+        assert d.support == (2, 3)
+
+    def test_from_pairs_merges_duplicates(self):
+        d = DiscreteDistribution([(1.0, 0.25), (1.0, 0.25), (2.0, 0.5)])
+        assert d.probability_of(1.0) == pytest.approx(0.5)
+
+    def test_zero_probability_outcomes_dropped(self):
+        d = DiscreteDistribution({1: 1.0, 2: 0.0})
+        assert d.support == (1,)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EvaluationError):
+            DiscreteDistribution({})
+
+    def test_rejects_bad_total(self):
+        with pytest.raises(EvaluationError):
+            DiscreteDistribution({1: 0.5, 2: 0.4})
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(EvaluationError):
+            DiscreteDistribution({1: 1.5, 2: -0.5})
+
+    def test_normalize(self):
+        d = DiscreteDistribution({1: 2.0, 2: 6.0}, normalize=True)
+        assert d.probability_of(2) == pytest.approx(0.75)
+
+    def test_point(self):
+        d = DiscreteDistribution.point(7.0)
+        assert d.support == (7.0,)
+        assert d.expected_value() == 7.0
+        assert d.variance() == 0.0
+
+    def test_from_samples(self):
+        d = DiscreteDistribution.from_samples([1, 1, 2, 2])
+        assert d.probability_of(1) == pytest.approx(0.5)
+
+    def test_from_samples_empty(self):
+        with pytest.raises(EvaluationError):
+            DiscreteDistribution.from_samples([])
+
+
+class TestAccessors:
+    def test_min_max(self):
+        d = DiscreteDistribution({5: 0.2, -1: 0.3, 3: 0.5})
+        assert d.min() == -1
+        assert d.max() == 5
+
+    def test_expected_value(self):
+        d = DiscreteDistribution({3: 0.6, 2: 0.4})
+        assert d.expected_value() == pytest.approx(2.6)
+
+    def test_variance(self):
+        d = DiscreteDistribution({0: 0.5, 2: 0.5})
+        assert d.variance() == pytest.approx(1.0)
+
+    def test_cdf(self):
+        d = DiscreteDistribution({1: 0.25, 2: 0.25, 3: 0.5})
+        assert d.cdf(0) == 0.0
+        assert d.cdf(2) == pytest.approx(0.5)
+        assert d.cdf(10) == pytest.approx(1.0)
+
+    def test_quantile(self):
+        d = DiscreteDistribution({1: 0.25, 2: 0.25, 3: 0.5})
+        assert d.quantile(0.0) == 1
+        assert d.quantile(0.5) == 2
+        assert d.quantile(1.0) == 3
+
+    def test_quantile_out_of_range(self):
+        d = DiscreteDistribution.point(1)
+        with pytest.raises(EvaluationError):
+            d.quantile(1.5)
+
+    def test_len_iter_items(self):
+        d = DiscreteDistribution({2: 0.5, 1: 0.5})
+        assert len(d) == 2
+        assert list(d) == [1, 2]
+        assert list(d.items()) == [(1, 0.5), (2, 0.5)]
+
+    def test_as_dict_is_copy(self):
+        d = DiscreteDistribution({1: 1.0})
+        copy = d.as_dict()
+        copy[2] = 0.5
+        assert d.support == (1,)
+
+
+class TestAlgebra:
+    def test_map_merges_collisions(self):
+        d = DiscreteDistribution({-1: 0.5, 1: 0.5})
+        squared = d.map(lambda v: v * v)
+        assert squared.probability_of(1) == pytest.approx(1.0)
+
+    def test_scale_shift(self):
+        d = DiscreteDistribution({1: 0.5, 3: 0.5})
+        assert d.scale(2).support == (2, 6)
+        assert d.shift(1).support == (2, 4)
+
+    def test_convolve(self):
+        d = DiscreteDistribution({0: 0.5, 1: 0.5})
+        total = d.convolve(d)
+        assert total.probability_of(1) == pytest.approx(0.5)
+        assert total.probability_of(0) == pytest.approx(0.25)
+
+    def test_mix(self):
+        a = DiscreteDistribution.point(0)
+        b = DiscreteDistribution.point(1)
+        mixed = a.mix(b, 0.3)
+        assert mixed.probability_of(0) == pytest.approx(0.3)
+        assert mixed.probability_of(1) == pytest.approx(0.7)
+
+    def test_mix_rejects_bad_weight(self):
+        a = DiscreteDistribution.point(0)
+        with pytest.raises(EvaluationError):
+            a.mix(a, 1.5)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = DiscreteDistribution({1: 0.5, 2: 0.5})
+        b = DiscreteDistribution([(2, 0.5), (1, 0.5)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_approx_equal(self):
+        a = DiscreteDistribution({1: 0.5, 2: 0.5})
+        b = DiscreteDistribution({1: 0.5 + 1e-12, 2: 0.5 - 1e-12})
+        assert a.approx_equal(b)
+
+    def test_approx_equal_different_support(self):
+        a = DiscreteDistribution({1: 1.0})
+        b = DiscreteDistribution({2: 1.0})
+        assert not a.approx_equal(b)
+
+
+@st.composite
+def distributions(draw):
+    values = draw(
+        st.lists(
+            st.integers(min_value=-50, max_value=50),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        )
+    )
+    weights = [draw(st.integers(min_value=1, max_value=9)) for _ in values]
+    total = sum(weights)
+    return DiscreteDistribution(
+        {float(v): w / total for v, w in zip(values, weights)}
+    )
+
+
+class TestProperties:
+    @given(distributions())
+    def test_probabilities_sum_to_one(self, d):
+        assert math.isclose(sum(p for _, p in d.items()), 1.0, abs_tol=1e-9)
+
+    @given(distributions())
+    def test_expected_value_within_support_bounds(self, d):
+        assert d.min() - 1e-9 <= d.expected_value() <= d.max() + 1e-9
+
+    @given(distributions())
+    def test_variance_nonnegative(self, d):
+        assert d.variance() >= 0.0
+
+    @given(distributions())
+    def test_cdf_monotone(self, d):
+        values = d.support
+        cdfs = [d.cdf(v) for v in values]
+        assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+        assert math.isclose(cdfs[-1], 1.0, abs_tol=1e-9)
+
+    @given(distributions(), distributions())
+    def test_convolve_expectation_is_additive(self, a, b):
+        combined = a.convolve(b)
+        assert math.isclose(
+            combined.expected_value(),
+            a.expected_value() + b.expected_value(),
+            abs_tol=1e-6,
+        )
+
+    @given(distributions())
+    def test_quantile_median_is_in_support(self, d):
+        assert d.quantile(0.5) in set(d.support)

@@ -1,0 +1,53 @@
+"""Packaging guards: the public API surface stays importable and coherent."""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_every_module_imports(self):
+        failures = []
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            try:
+                importlib.import_module(module_info.name)
+            except Exception as error:  # pragma: no cover - report which
+                failures.append((module_info.name, error))
+        assert not failures
+
+    def test_every_public_module_has_docstring(self):
+        for module_info in pkgutil.walk_packages(
+            repro.__path__, prefix="repro."
+        ):
+            module = importlib.import_module(module_info.name)
+            assert module.__doc__, module_info.name
+
+    def test_key_entry_points(self):
+        # The README quickstart, condensed.
+        from repro import AggregationEngine
+        from repro.data import realestate
+
+        engine = AggregationEngine(
+            [realestate.paper_instance()], realestate.paper_pmapping()
+        )
+        answer = engine.answer(realestate.Q1, "by-tuple", "range")
+        assert answer.as_tuple() == (1, 3)
+
+    def test_py_typed_marker_ships(self):
+        from pathlib import Path
+
+        assert (Path(repro.__file__).parent / "py.typed").exists()

@@ -1,0 +1,152 @@
+"""Tests for the schema catalog (:mod:`repro.schema.model`)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema.model import Attribute, AttributeType, Relation, Schema
+
+
+class TestAttributeType:
+    def test_coerce_int(self):
+        assert AttributeType.INT.coerce("42") == 42
+        assert AttributeType.INT.coerce(7.0) == 7
+
+    def test_coerce_int_rejects_fraction_string(self):
+        with pytest.raises(SchemaError):
+            AttributeType.INT.coerce("3.5")
+
+    def test_coerce_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            AttributeType.INT.coerce(True)
+
+    def test_coerce_real(self):
+        assert AttributeType.REAL.coerce(3) == 3.0
+        assert AttributeType.REAL.coerce("2.5") == 2.5
+
+    def test_coerce_real_rejects_text(self):
+        with pytest.raises(SchemaError):
+            AttributeType.REAL.coerce("abc")
+
+    def test_coerce_text(self):
+        assert AttributeType.TEXT.coerce("x") == "x"
+        assert AttributeType.TEXT.coerce(5) == "5"
+
+    def test_coerce_date_from_iso(self):
+        assert AttributeType.DATE.coerce("2008-01-20") == datetime.date(2008, 1, 20)
+
+    def test_coerce_date_from_datetime(self):
+        stamp = datetime.datetime(2008, 1, 20, 14, 30)
+        assert AttributeType.DATE.coerce(stamp) == datetime.date(2008, 1, 20)
+
+    def test_coerce_date_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            AttributeType.DATE.coerce("not-a-date")
+
+    def test_coerce_none_passes_through(self):
+        for attr_type in AttributeType:
+            assert attr_type.coerce(None) is None
+
+    def test_python_type(self):
+        assert AttributeType.DATE.python_type() is datetime.date
+        assert AttributeType.REAL.python_type() is float
+
+
+class TestAttribute:
+    def test_immutable(self):
+        attr = Attribute("price", AttributeType.REAL)
+        with pytest.raises(AttributeError):
+            attr.name = "other"
+
+    def test_equality_includes_type(self):
+        assert Attribute("a", AttributeType.INT) != Attribute("a", AttributeType.REAL)
+        assert Attribute("a", AttributeType.INT) == Attribute("a", AttributeType.INT)
+
+    def test_hashable(self):
+        assert len({Attribute("a"), Attribute("a")}) == 1
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_rejects_non_type(self):
+        with pytest.raises(SchemaError):
+            Attribute("a", "real")
+
+
+class TestRelation:
+    def setup_method(self):
+        self.relation = Relation(
+            "S1",
+            [
+                Attribute("ID", AttributeType.INT),
+                Attribute("price", AttributeType.REAL),
+            ],
+        )
+
+    def test_attribute_lookup(self):
+        assert self.relation.attribute("price").type is AttributeType.REAL
+
+    def test_attribute_lookup_missing(self):
+        with pytest.raises(SchemaError, match="no attribute"):
+            self.relation.attribute("ghost")
+
+    def test_index_of(self):
+        assert self.relation.index_of("ID") == 0
+        assert self.relation.index_of("price") == 1
+
+    def test_contains(self):
+        assert "ID" in self.relation
+        assert "ghost" not in self.relation
+
+    def test_attribute_names_order(self):
+        assert self.relation.attribute_names == ("ID", "price")
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Relation("R", [Attribute("a"), Attribute("a")])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [])
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            self.relation.name = "other"
+
+    def test_len_and_iter(self):
+        assert len(self.relation) == 2
+        assert [a.name for a in self.relation] == ["ID", "price"]
+
+    def test_equality_and_hash(self):
+        twin = Relation(
+            "S1",
+            [
+                Attribute("ID", AttributeType.INT),
+                Attribute("price", AttributeType.REAL),
+            ],
+        )
+        assert self.relation == twin
+        assert hash(self.relation) == hash(twin)
+
+
+class TestSchema:
+    def test_relation_lookup(self):
+        relation = Relation("R", [Attribute("a")])
+        schema = Schema("S", [relation])
+        assert schema.relation("R") is relation
+        assert "R" in schema
+        assert len(schema) == 1
+
+    def test_missing_relation(self):
+        schema = Schema("S", [Relation("R", [Attribute("a")])])
+        with pytest.raises(SchemaError, match="no relation"):
+            schema.relation("ghost")
+
+    def test_rejects_duplicate_relations(self):
+        relation = Relation("R", [Attribute("a")])
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema("S", [relation, relation])

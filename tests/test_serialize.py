@@ -1,0 +1,181 @@
+"""Tests for JSON (de)serialization (:mod:`repro.schema.serialize`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.data import ebay, realestate
+from repro.exceptions import MappingError, SchemaError
+from repro.schema.serialize import (
+    load_pmapping,
+    pmapping_from_dict,
+    pmapping_to_dict,
+    relation_from_dict,
+    relation_to_dict,
+    save_pmapping,
+)
+
+
+class TestRelationRoundTrip:
+    def test_round_trip(self):
+        relation = realestate.S1_RELATION
+        assert relation_from_dict(relation_to_dict(relation)) == relation
+
+    def test_types_preserved(self):
+        data = relation_to_dict(realestate.S1_RELATION)
+        assert {a["type"] for a in data["attributes"]} == {"int", "real",
+                                                           "text", "date"}
+
+    def test_malformed(self):
+        with pytest.raises(SchemaError, match="malformed"):
+            relation_from_dict({"name": "R"})
+        with pytest.raises(SchemaError, match="malformed"):
+            relation_from_dict(
+                {"name": "R", "attributes": [{"name": "a", "type": "decimal"}]}
+            )
+
+
+class TestPMappingRoundTrip:
+    @pytest.mark.parametrize(
+        "pmapping_factory",
+        [realestate.paper_pmapping, ebay.paper_pmapping],
+    )
+    def test_round_trip(self, pmapping_factory):
+        pmapping = pmapping_factory()
+        restored = pmapping_from_dict(pmapping_to_dict(pmapping))
+        assert restored == pmapping
+        assert [m.name for m in restored.mappings] == [
+            m.name for m in pmapping.mappings
+        ]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "pm.json"
+        save_pmapping(realestate.paper_pmapping(), path)
+        assert load_pmapping(path) == realestate.paper_pmapping()
+
+    def test_loaded_mapping_is_validated(self, tmp_path):
+        data = pmapping_to_dict(realestate.paper_pmapping())
+        data["mappings"][0]["probability"] = 0.9  # now sums to 1.3
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(MappingError, match="sum to"):
+            load_pmapping(path)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(MappingError, match="not valid JSON"):
+            load_pmapping(path)
+
+    def test_malformed_structure(self):
+        with pytest.raises(MappingError, match="malformed"):
+            pmapping_from_dict({"source": relation_to_dict(
+                realestate.S1_RELATION)})
+
+    def test_loaded_pmapping_answers_queries(self, tmp_path, ds1):
+        from repro.core.engine import AggregationEngine
+
+        path = tmp_path / "pm.json"
+        save_pmapping(realestate.paper_pmapping(), path)
+        engine = AggregationEngine([ds1], load_pmapping(path))
+        answer = engine.answer(realestate.Q1, "by-tuple", "range")
+        assert answer.as_tuple() == (1, 3)
+
+
+class TestQueryCli:
+    def test_end_to_end(self, tmp_path, capsys, ds1):
+        from repro.cli import main
+        from repro.storage.csv_io import save_table_csv
+
+        data_path = tmp_path / "s1.csv"
+        mapping_path = tmp_path / "pm.json"
+        save_table_csv(ds1, data_path)
+        save_pmapping(realestate.paper_pmapping(), mapping_path)
+        code = main([
+            "query",
+            "--data", str(data_path),
+            "--mapping", str(mapping_path),
+            "--query", realestate.Q1,
+            "--mapping-semantics", "by-tuple",
+            "--aggregate-semantics", "distribution",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.48" in out
+
+    def test_sampling_flag(self, tmp_path, capsys, ds2):
+        from repro.cli import main
+        from repro.storage.csv_io import save_table_csv
+
+        data_path = tmp_path / "s2.csv"
+        mapping_path = tmp_path / "pm.json"
+        save_table_csv(ds2, data_path)
+        save_pmapping(ebay.paper_pmapping(), mapping_path)
+        code = main([
+            "query",
+            "--data", str(data_path),
+            "--mapping", str(mapping_path),
+            "--query", "SELECT AVG(price) FROM T2",
+            "--mapping-semantics", "by-tuple",
+            "--aggregate-semantics", "expected-value",
+            "--samples", "500",
+        ])
+        assert code == 0
+        assert "ExpectedValueAnswer" in capsys.readouterr().out
+
+    def test_stream_flag_matches_in_memory(self, tmp_path, capsys, ds1):
+        from repro.cli import main
+        from repro.storage.csv_io import save_table_csv
+
+        data_path = tmp_path / "s1.csv"
+        mapping_path = tmp_path / "pm.json"
+        save_table_csv(ds1, data_path)
+        save_pmapping(realestate.paper_pmapping(), mapping_path)
+        common = [
+            "query",
+            "--data", str(data_path),
+            "--mapping", str(mapping_path),
+            "--query", realestate.Q1,
+            "--mapping-semantics", "by-tuple",
+            "--aggregate-semantics", "range",
+        ]
+        assert main(common) == 0
+        in_memory = capsys.readouterr().out
+        assert main(common + ["--stream"]) == 0
+        streamed = capsys.readouterr().out
+        assert streamed == in_memory
+
+    def test_stream_flag_rejects_by_table(self, tmp_path, capsys, ds1):
+        from repro.cli import main
+        from repro.storage.csv_io import save_table_csv
+
+        data_path = tmp_path / "s1.csv"
+        mapping_path = tmp_path / "pm.json"
+        save_table_csv(ds1, data_path)
+        save_pmapping(realestate.paper_pmapping(), mapping_path)
+        code = main([
+            "query",
+            "--data", str(data_path),
+            "--mapping", str(mapping_path),
+            "--query", realestate.Q1,
+            "--mapping-semantics", "by-table",
+            "--stream",
+        ])
+        assert code == 2
+        assert "by-tuple" in capsys.readouterr().err
+
+    def test_error_reporting(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = tmp_path / "missing.json"
+        missing.write_text("{}")
+        code = main([
+            "query",
+            "--data", str(tmp_path / "nope.csv"),
+            "--mapping", str(missing),
+            "--query", "SELECT COUNT(*) FROM T1",
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

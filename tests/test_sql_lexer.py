@@ -1,0 +1,116 @@
+"""Tests for the SQL tokenizer (:mod:`repro.sql.lexer`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SQLSyntaxError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text: str) -> list[tuple[TokenType, object]]:
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]  # drop END
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("postedDate") == [(TokenType.IDENTIFIER, "postedDate")]
+
+    def test_aggregates_are_keywords(self):
+        assert kinds("COUNT sum Avg") == [
+            (TokenType.KEYWORD, "COUNT"),
+            (TokenType.KEYWORD, "SUM"),
+            (TokenType.KEYWORD, "AVG"),
+        ]
+
+    def test_punctuation_and_star(self):
+        assert kinds("( ) , . *") == [
+            (TokenType.PUNCTUATION, c) for c in "(),.*"
+        ]
+
+    def test_ends_with_end_token(self):
+        assert tokenize("x")[-1].type is TokenType.END
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t ")[0].type is TokenType.END
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.NUMBER, 42)]
+
+    def test_decimal(self):
+        assert kinds("3.25") == [(TokenType.NUMBER, 3.25)]
+
+    def test_leading_dot(self):
+        assert kinds(".5") == [(TokenType.NUMBER, 0.5)]
+
+    def test_scientific(self):
+        assert kinds("1e3 2.5E-2") == [
+            (TokenType.NUMBER, 1000.0),
+            (TokenType.NUMBER, 0.025),
+        ]
+
+    def test_trailing_dot_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="malformed"):
+            tokenize("3.")
+
+    def test_double_dot_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="malformed"):
+            tokenize("3.1.4")
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated(self):
+        with pytest.raises(SQLSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert kinds("''") == [(TokenType.STRING, "")]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("=", "="), ("<", "<"), ("<=", "<="), (">", ">"), (">=", ">="),
+         ("<>", "<>"), ("!=", "<>")],
+    )
+    def test_operators(self, text, expected):
+        assert kinds(text) == [(TokenType.OPERATOR, expected)]
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("!")
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("a ; b")
+
+
+class TestTokenHelpers:
+    def test_matches(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenType.KEYWORD)
+        assert token.matches(TokenType.KEYWORD, "SELECT")
+        assert not token.matches(TokenType.KEYWORD, "FROM")
+        assert not token.matches(TokenType.IDENTIFIER)
+
+    def test_repr_contains_position(self):
+        assert "@3" in repr(Token(TokenType.NUMBER, 1, 3))
+
+    def test_error_position_reported(self):
+        with pytest.raises(SQLSyntaxError, match="position"):
+            tokenize("abc ;")

@@ -1,0 +1,277 @@
+"""Tests for the SQL parser and AST rendering."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SQLSyntaxError, UnsupportedQueryError
+from repro.sql.ast import (
+    AggregateCall,
+    AggregateOp,
+    BetweenPredicate,
+    BooleanCondition,
+    ColumnRef,
+    Comparison,
+    InPredicate,
+    IsNullPredicate,
+    LikePredicate,
+    Literal,
+    NotCondition,
+    SubquerySource,
+    TableSource,
+    parse_flexible_date,
+)
+from repro.sql.parser import parse_condition, parse_query
+
+
+class TestQueries:
+    def test_count_star(self):
+        q = parse_query("SELECT COUNT(*) FROM T1")
+        assert q.aggregate.op is AggregateOp.COUNT
+        assert q.aggregate.argument is None
+        assert q.source == TableSource("T1")
+        assert q.where is None and q.group_by is None
+
+    def test_where_and_group_by(self):
+        q = parse_query(
+            "SELECT SUM(price) FROM T2 WHERE auctionID = 34 GROUP BY auctionID"
+        )
+        assert q.aggregate.argument == ColumnRef("price")
+        assert q.group_by == ColumnRef("auctionID")
+        assert isinstance(q.where, Comparison)
+
+    def test_distinct(self):
+        q = parse_query("SELECT MAX(DISTINCT price) FROM T2")
+        assert q.aggregate.distinct
+
+    def test_alias_with_as(self):
+        q = parse_query("SELECT AVG(x) FROM T AS R")
+        assert q.source.alias == "R"
+        assert q.source.binding_name == "R"
+
+    def test_alias_without_as(self):
+        q = parse_query("SELECT AVG(x) FROM T R")
+        assert q.source.alias == "R"
+
+    def test_qualified_columns(self):
+        q = parse_query("SELECT MAX(R.price) FROM T AS R WHERE R.x > 1")
+        assert q.aggregate.argument == ColumnRef("price", qualifier="R")
+
+    def test_nested_query(self):
+        q = parse_query(
+            "SELECT AVG(R1.price) FROM (SELECT MAX(DISTINCT R2.price) "
+            "FROM T2 AS R2 GROUP BY R2.auctionID) AS R1"
+        )
+        assert q.is_nested
+        assert isinstance(q.source, SubquerySource)
+        inner = q.source.query
+        assert inner.aggregate.op is AggregateOp.MAX
+        assert inner.group_by == ColumnRef("auctionID", qualifier="R2")
+
+    def test_all_aggregates(self):
+        for op in AggregateOp:
+            q = parse_query(f"SELECT {op.value}(x) FROM T")
+            assert q.aggregate.op is op
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse_query("SELECT COUNT(*) FROM T1 extra stuff oops")
+
+    def test_missing_from(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT COUNT(*) T1")
+
+    def test_non_aggregate_select_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="aggregate"):
+            parse_query("SELECT price FROM T1")
+
+    def test_subquery_requires_alias(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT AVG(x) FROM (SELECT MAX(x) FROM T)")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises((SQLSyntaxError, UnsupportedQueryError)):
+            parse_query("SELECT SUM(*) FROM T")
+
+    def test_count_distinct_star_rejected(self):
+        with pytest.raises((SQLSyntaxError, UnsupportedQueryError)):
+            parse_query("SELECT COUNT(DISTINCT *) FROM T")
+
+
+class TestConditions:
+    def test_comparison_operators(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            cond = parse_condition(f"x {op} 3")
+            assert isinstance(cond, Comparison)
+            assert cond.operator == op
+
+    def test_and_or_precedence(self):
+        cond = parse_condition("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(cond, BooleanCondition)
+        assert cond.operator == "OR"
+        assert isinstance(cond.operands[1], BooleanCondition)
+        assert cond.operands[1].operator == "AND"
+
+    def test_parentheses_override_precedence(self):
+        cond = parse_condition("(a = 1 OR b = 2) AND c = 3")
+        assert cond.operator == "AND"
+        assert cond.operands[0].operator == "OR"
+
+    def test_not(self):
+        cond = parse_condition("NOT x = 1")
+        assert isinstance(cond, NotCondition)
+
+    def test_between(self):
+        cond = parse_condition("x BETWEEN 1 AND 5")
+        assert isinstance(cond, BetweenPredicate)
+        assert not cond.negated
+
+    def test_not_between(self):
+        cond = parse_condition("x NOT BETWEEN 1 AND 5")
+        assert cond.negated
+
+    def test_in_list(self):
+        cond = parse_condition("x IN (1, 2, 3)")
+        assert isinstance(cond, InPredicate)
+        assert [v.value for v in cond.values] == [1, 2, 3]
+
+    def test_not_in(self):
+        assert parse_condition("x NOT IN (1)").negated
+
+    def test_is_null(self):
+        cond = parse_condition("x IS NULL")
+        assert isinstance(cond, IsNullPredicate)
+        assert not cond.negated
+
+    def test_is_not_null(self):
+        assert parse_condition("x IS NOT NULL").negated
+
+    def test_like(self):
+        cond = parse_condition("name LIKE 'abc%'")
+        assert isinstance(cond, LikePredicate)
+        assert cond.pattern == "abc%"
+
+    def test_not_like(self):
+        assert parse_condition("name NOT LIKE 'a_'").negated
+
+    def test_literal_on_left(self):
+        cond = parse_condition("3 < x")
+        assert isinstance(cond.left, Literal)
+        assert isinstance(cond.right, ColumnRef)
+
+    def test_string_literal(self):
+        cond = parse_condition("d < '2008-1-20'")
+        assert cond.right.value == "2008-1-20"
+
+    def test_not_before_operator_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_condition("x NOT = 3")
+
+    def test_dangling_condition_rejected(self):
+        with pytest.raises(SQLSyntaxError, match="comparison"):
+            parse_condition("x")
+
+
+class TestRoundTrip:
+    PAPER_QUERIES = [
+        "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'",
+        "SELECT COUNT(*) FROM S1 WHERE postedDate < '2008-1-20'",
+        "SELECT SUM(price) FROM T2 WHERE auctionID = 34",
+        "SELECT AVG(R1.price) FROM (SELECT MAX(DISTINCT R2.price) "
+        "FROM T2 AS R2 GROUP BY R2.auctionID) AS R1",
+    ]
+
+    @pytest.mark.parametrize("text", PAPER_QUERIES)
+    def test_parse_unparse_fixpoint(self, text):
+        first = parse_query(text)
+        second = parse_query(first.to_sql())
+        assert first == second
+        assert first.to_sql() == second.to_sql()
+
+    def test_complex_condition_round_trip(self):
+        text = (
+            "SELECT SUM(x) FROM T WHERE (a < 1 OR b >= 2) AND NOT (c = 3) "
+            "AND d IN (1, 2) AND e BETWEEN 0 AND 9 AND f IS NOT NULL"
+        )
+        q = parse_query(text)
+        assert parse_query(q.to_sql()) == q
+
+
+_idents = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s.upper() not in {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "AS", "AND", "OR", "NOT",
+        "DISTINCT", "BETWEEN", "IN", "IS", "NULL", "LIKE",
+        "COUNT", "SUM", "AVG", "MIN", "MAX",
+    }
+)
+
+
+@st.composite
+def random_queries(draw) -> str:
+    op = draw(st.sampled_from([o.value for o in AggregateOp]))
+    column = draw(_idents)
+    table = draw(_idents)
+    argument = "*" if op == "COUNT" and draw(st.booleans()) else column
+    where = ""
+    if draw(st.booleans()):
+        comparisons = [
+            f"{draw(_idents)} {draw(st.sampled_from(['<', '<=', '=', '>', '>=', '<>']))} "
+            f"{draw(st.integers(min_value=-99, max_value=99))}"
+            for _ in range(draw(st.integers(min_value=1, max_value=3)))
+        ]
+        where = " WHERE " + draw(st.sampled_from([" AND ", " OR "])).join(comparisons)
+    group = f" GROUP BY {draw(_idents)}" if draw(st.booleans()) else ""
+    return f"SELECT {op}({argument}) FROM {table}{where}{group}"
+
+
+class TestRoundTripProperty:
+    @given(random_queries())
+    def test_random_query_round_trips(self, text):
+        q = parse_query(text)
+        assert parse_query(q.to_sql()) == q
+
+
+class TestAstValidation:
+    def test_aggregate_call_star_only_for_count(self):
+        with pytest.raises(UnsupportedQueryError):
+            AggregateCall(AggregateOp.SUM, None)
+
+    def test_comparison_rejects_unknown_operator(self):
+        with pytest.raises(SQLSyntaxError):
+            Comparison(ColumnRef("x"), "~", Literal(1))
+
+    def test_boolean_needs_two_operands(self):
+        with pytest.raises(SQLSyntaxError):
+            BooleanCondition("AND", [Comparison(ColumnRef("x"), "=", Literal(1))])
+
+    def test_in_rejects_empty_list(self):
+        with pytest.raises(SQLSyntaxError):
+            InPredicate(ColumnRef("x"), [])
+
+    def test_literal_rendering_escapes_quotes(self):
+        assert Literal("it's").to_sql() == "'it''s'"
+
+    def test_literal_rendering_dates(self):
+        assert Literal(datetime.date(2008, 1, 5)).to_sql() == "'2008-01-05'"
+
+    def test_columns_iteration(self):
+        q = parse_query("SELECT SUM(a) FROM T WHERE b < 1 GROUP BY c")
+        assert {c.name for c in q.columns()} == {"a", "b", "c"}
+
+
+class TestFlexibleDates:
+    def test_unpadded(self):
+        assert parse_flexible_date("2008-1-5") == datetime.date(2008, 1, 5)
+
+    def test_padded(self):
+        assert parse_flexible_date("2008-01-05") == datetime.date(2008, 1, 5)
+
+    def test_invalid_month(self):
+        assert parse_flexible_date("2008-13-05") is None
+
+    def test_not_a_date(self):
+        assert parse_flexible_date("hello") is None

@@ -1,0 +1,93 @@
+"""Tests for SQLite rendering (:mod:`repro.sql.render`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import ebay, realestate
+from repro.exceptions import StorageError, UnsupportedQueryError
+from repro.sql.parser import parse_condition, parse_query
+from repro.sql.reformulate import reformulate_query
+from repro.sql.render import executable_sql, normalize_literals
+from repro.storage.sqlite_backend import SQLiteBackend
+
+S1 = realestate.S1_RELATION
+S2 = ebay.S2_RELATION
+
+
+class TestDateNormalization:
+    def test_unpadded_date_literal_padded(self):
+        cond = parse_condition("postedDate < '2008-1-20'")
+        normalized = normalize_literals(cond, S1, "S1")
+        assert normalized.to_sql() == "postedDate < '2008-01-20'"
+
+    def test_between_bounds_normalized(self):
+        cond = parse_condition("postedDate BETWEEN '2008-1-1' AND '2008-2-1'")
+        normalized = normalize_literals(cond, S1, "S1")
+        assert "'2008-01-01'" in normalized.to_sql()
+        assert "'2008-02-01'" in normalized.to_sql()
+
+    def test_in_values_normalized(self):
+        cond = parse_condition("postedDate IN ('2008-1-5')")
+        normalized = normalize_literals(cond, S1, "S1")
+        assert "'2008-01-05'" in normalized.to_sql()
+
+    def test_non_date_literals_untouched(self):
+        cond = parse_condition("price < 100 AND agentPhone = '215'")
+        assert normalize_literals(cond, S1, "S1").to_sql() == cond.to_sql()
+
+    def test_boolean_and_not_traversed(self):
+        cond = parse_condition(
+            "NOT (postedDate < '2008-1-20') OR postedDate IS NULL"
+        )
+        normalized = normalize_literals(cond, S1, "S1")
+        assert "'2008-01-20'" in normalized.to_sql()
+
+
+class TestExecutableSql:
+    def test_flat_query(self):
+        q = reformulate_query(
+            parse_query(realestate.Q1), realestate.mapping_m11()
+        )
+        sql = executable_sql(q, {"S1": S1})
+        assert sql == "SELECT COUNT(*) FROM S1 WHERE postedDate < '2008-01-20'"
+
+    def test_group_by_selects_group_key(self):
+        q = reformulate_query(
+            parse_query("SELECT MAX(price) FROM T2 GROUP BY auctionID"),
+            ebay.mapping_m22(),
+        )
+        sql = executable_sql(q, {"S2": S2})
+        assert sql.startswith("SELECT auction, MAX(currentPrice)")
+        assert sql.endswith("GROUP BY auction")
+
+    def test_nested_query_uses_inner_alias(self):
+        q = reformulate_query(parse_query(ebay.Q2), ebay.mapping_m21())
+        sql = executable_sql(q, {"S2": S2})
+        assert "AS __agg" in sql
+        assert "AVG(R1.__agg)" in sql
+
+    def test_nested_sql_actually_runs(self):
+        with SQLiteBackend() as backend:
+            backend.materialize(ebay.paper_instance())
+            q = reformulate_query(parse_query(ebay.Q2), ebay.mapping_m21())
+            sql = executable_sql(q, {"S2": S2})
+            rows = backend.query(sql)
+            assert rows[0][0] == pytest.approx((349.99 + 439.95) / 2)
+
+    def test_unknown_relation(self):
+        q = parse_query("SELECT COUNT(*) FROM Ghost")
+        with pytest.raises(StorageError, match="unknown relation"):
+            executable_sql(q, {"S1": S1})
+
+    def test_outer_where_rejected(self):
+        q = parse_query(
+            "SELECT AVG(R1.x) FROM (SELECT MAX(x) FROM T AS R2) AS R1"
+        )
+        q_with_where = parse_query(
+            "SELECT AVG(R1.x) FROM (SELECT MAX(x) FROM T AS R2) AS R1 "
+            "WHERE x < 3"
+        )
+        assert q.where is None
+        with pytest.raises(UnsupportedQueryError, match="outer"):
+            executable_sql(q_with_where, {"T": S1})

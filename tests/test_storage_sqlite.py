@@ -1,0 +1,99 @@
+"""Tests for the SQLite backend (:mod:`repro.storage.sqlite_backend`)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.schema.model import Attribute, AttributeType, Relation
+from repro.storage.sqlite_backend import SQLiteBackend, _quote_identifier
+from repro.storage.table import Table
+
+RELATION = Relation(
+    "R",
+    [
+        Attribute("id", AttributeType.INT),
+        Attribute("price", AttributeType.REAL),
+        Attribute("label", AttributeType.TEXT),
+        Attribute("when", AttributeType.DATE),
+    ],
+)
+
+
+@pytest.fixture
+def table():
+    return Table(
+        RELATION,
+        [
+            (1, 10.5, "a", datetime.date(2008, 1, 5)),
+            (2, 20.0, "b", datetime.date(2008, 2, 1)),
+            (3, None, None, None),
+        ],
+    )
+
+
+@pytest.fixture
+def backend(table):
+    with SQLiteBackend() as db:
+        db.materialize(table)
+        yield db
+
+
+class TestMaterialize:
+    def test_roundtrip(self, backend, table):
+        assert backend.fetch_table("R") == table
+
+    def test_relation_names(self, backend):
+        assert backend.relation_names == ("R",)
+
+    def test_duplicate_materialize_rejected(self, backend, table):
+        with pytest.raises(StorageError, match="already materialized"):
+            backend.materialize(table)
+
+    def test_replace(self, backend, table):
+        backend.materialize(table.head(1), replace=True)
+        assert len(backend.fetch_table("R")) == 1
+
+    def test_unknown_relation(self, backend):
+        with pytest.raises(StorageError, match="no materialized relation"):
+            backend.relation("ghost")
+
+
+class TestQuery:
+    def test_count(self, backend):
+        assert backend.scalar("SELECT COUNT(*) FROM R") == 3
+
+    def test_date_comparison_uses_iso_text(self, backend):
+        # Dates are stored zero-padded, so text comparison orders correctly.
+        rows = backend.query('SELECT id FROM R WHERE "when" < \'2008-01-20\'')
+        assert rows == [(1,)]
+
+    def test_nulls_roundtrip(self, backend):
+        fetched = backend.fetch_table("R")
+        assert fetched.row(2)["price"] is None
+        assert fetched.row(2)["when"] is None
+
+    def test_bad_sql_raises_storage_error(self, backend):
+        with pytest.raises(StorageError, match="SQLite rejected"):
+            backend.query("SELECT FROM nothing")
+
+    def test_scalar_shape_check(self, backend):
+        with pytest.raises(StorageError, match="single scalar"):
+            backend.scalar("SELECT id FROM R")
+
+    def test_insert_rows(self, backend):
+        backend.insert_rows("R", [(4, 1.0, "d", datetime.date(2008, 3, 1))])
+        assert backend.scalar("SELECT COUNT(*) FROM R") == 4
+
+
+class TestQuoting:
+    def test_quote_identifier_escapes_quotes(self):
+        assert _quote_identifier('we"ird') == '"we""ird"'
+
+    def test_reserved_word_column_works(self):
+        # "when" is an SQL keyword; materialization must quote it.
+        with SQLiteBackend() as db:
+            db.materialize(Table(RELATION, [(1, 1.0, "a", None)]))
+            assert db.scalar("SELECT COUNT(*) FROM R") == 1

@@ -1,0 +1,118 @@
+"""Tests for the in-memory table (:mod:`repro.storage.table`)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.exceptions import SchemaError, StorageError
+from repro.schema.model import Attribute, AttributeType, Relation
+from repro.storage.table import Row, Table
+
+RELATION = Relation(
+    "R",
+    [
+        Attribute("id", AttributeType.INT),
+        Attribute("price", AttributeType.REAL),
+        Attribute("label", AttributeType.TEXT),
+        Attribute("when", AttributeType.DATE),
+    ],
+)
+
+
+@pytest.fixture
+def table():
+    return Table(
+        RELATION,
+        [
+            (1, 10.5, "a", datetime.date(2008, 1, 5)),
+            {"id": 2, "price": 20, "label": "b", "when": "2008-02-01"},
+        ],
+    )
+
+
+class TestConstruction:
+    def test_sequence_and_mapping_rows(self, table):
+        assert len(table) == 2
+        assert table.value_at(1, "price") == 20.0  # int coerced to REAL
+        assert table.value_at(1, "when") == datetime.date(2008, 2, 1)
+
+    def test_wrong_arity(self):
+        with pytest.raises(StorageError, match="values"):
+            Table(RELATION, [(1, 2.0)])
+
+    def test_unknown_mapping_key(self):
+        with pytest.raises(StorageError, match="unknown attributes"):
+            Table(RELATION, [{"id": 1, "ghost": 2}])
+
+    def test_type_coercion_failure(self):
+        with pytest.raises(SchemaError):
+            Table(RELATION, [("x", 1.0, "a", "2008-01-01")])
+
+    def test_nulls_allowed(self):
+        t = Table(RELATION, [(1, None, None, None)])
+        assert t.row(0)["price"] is None
+
+    def test_from_prepared_rows_skips_validation(self):
+        rows = [(1, 1.0, "a", datetime.date(2008, 1, 1))]
+        t = Table.from_prepared_rows(RELATION, rows)
+        assert t.rows == tuple(rows)
+
+
+class TestAccess:
+    def test_column(self, table):
+        assert table.column("price") == (10.5, 20.0)
+
+    def test_distinct_preserves_first_seen_order(self):
+        t = Table(RELATION, [
+            (1, 1.0, "b", None), (2, 1.0, "a", None), (3, 2.0, "b", None),
+        ])
+        assert t.distinct("price") == (1.0, 2.0)
+        assert t.distinct("label") == ("b", "a")
+
+    def test_row_view(self, table):
+        row = table.row(0)
+        assert row["id"] == 1
+        assert row.get("ghost", "fallback") == "fallback"
+        assert row.as_dict()["label"] == "a"
+        assert len(row) == 4
+
+    def test_row_equality_with_tuple(self, table):
+        assert table.row(0) == (1, 10.5, "a", datetime.date(2008, 1, 5))
+
+    def test_select(self, table):
+        cheap = table.select(lambda row: row["price"] < 15)
+        assert len(cheap) == 1
+        assert cheap.row(0)["id"] == 1
+
+    def test_head(self, table):
+        assert len(table.head(1)) == 1
+        assert len(table.head(10)) == 2
+
+    def test_iter_rows(self, table):
+        ids = [row["id"] for row in table]
+        assert ids == [1, 2]
+
+    def test_rows_returns_copy(self, table):
+        snapshot = table.rows
+        table.append((3, 1.0, "c", None))
+        assert len(snapshot) == 2
+
+    def test_pretty_contains_header_and_values(self, table):
+        text = table.pretty()
+        assert "price" in text
+        assert "10.5" in text
+
+    def test_pretty_truncation_note(self):
+        t = Table(RELATION, [(i, 1.0, "x", None) for i in range(30)])
+        assert "more rows" in t.pretty(limit=5)
+
+    def test_equality(self, table):
+        twin = Table(RELATION, [r for r in table.rows])
+        assert table == twin
+
+
+class TestRowHash:
+    def test_rows_hashable(self, table):
+        assert len({table.row(0), Row(RELATION, table.rows[0])}) == 1

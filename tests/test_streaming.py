@@ -1,0 +1,206 @@
+"""Tests for the streaming accumulators (:mod:`repro.core.streaming`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bytuple_avg import by_tuple_range_avg
+from repro.core.bytuple_count import (
+    by_tuple_distribution_count,
+    by_tuple_expected_count,
+    by_tuple_range_count,
+)
+from repro.core.bytuple_minmax import by_tuple_range_max, by_tuple_range_min
+from repro.core.bytuple_sum import by_tuple_expected_sum, by_tuple_range_sum
+from repro.core.streaming import (
+    DistributionCountAccumulator,
+    ExpectedCountAccumulator,
+    ExpectedSumAccumulator,
+    GroupedAccumulator,
+    RangeAvgAccumulator,
+    RangeCountAccumulator,
+    RangeMinMaxAccumulator,
+    RangeSumAccumulator,
+    TupleStream,
+    answer_stream,
+)
+from repro.data import ebay, realestate
+from repro.exceptions import UnsupportedQueryError
+from repro.sql.parser import parse_query
+from repro.storage.csv_io import iter_csv_rows, save_table_csv
+from tests.conftest import small_problems
+
+COUNT_Q = "SELECT COUNT(*) FROM {t} WHERE value < {c}"
+SUM_Q = "SELECT SUM(value) FROM {t} WHERE value < {c}"
+AVG_Q = "SELECT AVG(value) FROM {t} WHERE value < {c}"
+MAX_Q = "SELECT MAX(value) FROM {t} WHERE value < {c}"
+MIN_Q = "SELECT MIN(value) FROM {t} WHERE value < {c}"
+
+
+def _stream_answer(problem, template, factory, **kwargs):
+    query = problem.query(template)
+    stream = TupleStream(problem.table.relation, problem.pmapping, query)
+    accumulator = factory(stream, **kwargs)
+    for values in problem.table.rows:
+        accumulator.add_row(values)
+    return accumulator.result()
+
+
+class TestAgainstBatchAlgorithms:
+    @settings(max_examples=50, deadline=None)
+    @given(small_problems())
+    def test_range_count(self, problem):
+        streamed = _stream_answer(problem, COUNT_Q, RangeCountAccumulator)
+        batch = by_tuple_range_count(
+            problem.table, problem.pmapping, problem.query(COUNT_Q)
+        )
+        assert streamed == batch
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_problems())
+    def test_range_sum(self, problem):
+        streamed = _stream_answer(problem, SUM_Q, RangeSumAccumulator)
+        batch = by_tuple_range_sum(
+            problem.table, problem.pmapping, problem.query(SUM_Q)
+        )
+        assert streamed == batch
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_problems())
+    def test_range_avg(self, problem):
+        streamed = _stream_answer(problem, AVG_Q, RangeAvgAccumulator)
+        batch = by_tuple_range_avg(
+            problem.table, problem.pmapping, problem.query(AVG_Q)
+        )
+        if batch.is_defined:
+            assert streamed.low == pytest.approx(batch.low)
+            assert streamed.high == pytest.approx(batch.high)
+        else:
+            assert not streamed.is_defined
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_problems())
+    def test_range_minmax(self, problem):
+        streamed_max = _stream_answer(
+            problem, MAX_Q, RangeMinMaxAccumulator, maximize=True
+        )
+        batch_max = by_tuple_range_max(
+            problem.table, problem.pmapping, problem.query(MAX_Q)
+        )
+        assert streamed_max == batch_max
+        streamed_min = _stream_answer(
+            problem, MIN_Q, RangeMinMaxAccumulator, maximize=False
+        )
+        batch_min = by_tuple_range_min(
+            problem.table, problem.pmapping, problem.query(MIN_Q)
+        )
+        assert streamed_min == batch_min
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_problems())
+    def test_expected_count(self, problem):
+        streamed = _stream_answer(problem, COUNT_Q, ExpectedCountAccumulator)
+        batch = by_tuple_expected_count(
+            problem.table, problem.pmapping, problem.query(COUNT_Q),
+            method="linear",
+        )
+        assert streamed.value == pytest.approx(batch.value, abs=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_problems())
+    def test_expected_sum(self, problem):
+        streamed = _stream_answer(problem, SUM_Q, ExpectedSumAccumulator)
+        batch = by_tuple_expected_sum(
+            problem.table, problem.pmapping, problem.query(SUM_Q),
+            method="exact",
+        )
+        if batch.is_defined:
+            assert streamed.value == pytest.approx(batch.value, abs=1e-9)
+        else:
+            assert not streamed.is_defined
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_problems())
+    def test_distribution_count(self, problem):
+        streamed = _stream_answer(
+            problem, COUNT_Q, DistributionCountAccumulator
+        )
+        batch = by_tuple_distribution_count(
+            problem.table, problem.pmapping, problem.query(COUNT_Q)
+        )
+        assert streamed.distribution.approx_equal(batch.distribution, 1e-9)
+
+
+class TestGroupedStreaming:
+    def test_grouped_max(self, ds2, pm2):
+        query = parse_query("SELECT MAX(price) FROM T2 WHERE price > 200")
+        stream = TupleStream(ds2.relation, pm2, query)
+        grouped = GroupedAccumulator(
+            stream,
+            ds2.relation.index_of("auction"),
+            lambda s: RangeMinMaxAccumulator(s, maximize=True),
+        )
+        for values in ds2.rows:
+            grouped.add_row(values)
+        answer = grouped.result()
+        batch = by_tuple_range_max(
+            ds2, pm2,
+            parse_query(
+                "SELECT MAX(price) FROM T2 WHERE price > 200 "
+                "GROUP BY auctionID"
+            ),
+        )
+        assert set(answer.groups) == set(batch.groups)
+        for key, value in batch:
+            assert answer[key] == value
+
+
+class TestCsvStreaming:
+    def test_end_to_end_from_csv(self, tmp_path):
+        table = realestate.generate_listings(500, seed=9)
+        path = tmp_path / "listings.csv"
+        save_table_csv(table, path)
+        query = parse_query(realestate.Q1)
+        streamed = answer_stream(
+            iter_csv_rows(realestate.S1_RELATION, path),
+            realestate.S1_RELATION,
+            realestate.paper_pmapping(),
+            query,
+            RangeCountAccumulator,
+        )
+        batch = by_tuple_range_count(
+            table, realestate.paper_pmapping(), query
+        )
+        assert streamed == batch
+
+    def test_iter_csv_rows_types(self, tmp_path, ds1):
+        import datetime
+
+        path = tmp_path / "s1.csv"
+        save_table_csv(ds1, path)
+        rows = list(iter_csv_rows(realestate.S1_RELATION, path))
+        assert len(rows) == 4
+        assert isinstance(rows[0][3], datetime.date)
+
+    def test_iter_csv_rows_header_check(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(Exception, match="header"):
+            list(iter_csv_rows(realestate.S1_RELATION, path))
+
+
+class TestValidation:
+    def test_grouped_query_rejected_in_stream(self, ds2, pm2):
+        query = parse_query("SELECT MAX(price) FROM T2 GROUP BY auctionID")
+        with pytest.raises(UnsupportedQueryError, match="Grouped"):
+            TupleStream(ds2.relation, pm2, query)
+
+    def test_empty_stream_results(self, ds2, pm2):
+        query = parse_query("SELECT SUM(price) FROM T2")
+        stream = TupleStream(ds2.relation, pm2, query)
+        assert not RangeSumAccumulator(stream).result().is_defined
+        assert RangeCountAccumulator(stream).result().as_tuple() == (0, 0)
+        assert ExpectedCountAccumulator(stream).result().value == 0.0
+        dist = DistributionCountAccumulator(stream).result()
+        assert dist.distribution.support == (0,)

@@ -1,0 +1,247 @@
+"""Tests for the numpy fast path (:mod:`repro.core.vectorized`).
+
+The key property: every vectorized algorithm returns exactly what its
+scalar counterpart returns, on arbitrary small problems and on larger
+random workloads.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import vectorized as V
+from repro.core.bytuple_avg import by_tuple_range_avg
+from repro.core.bytuple_count import (
+    by_tuple_distribution_count,
+    by_tuple_range_count,
+)
+from repro.core.bytuple_minmax import by_tuple_range_max, by_tuple_range_min
+from repro.core.bytuple_sum import by_tuple_range_sum
+from repro.data import realestate, synthetic
+from repro.sql.ast import AggregateOp
+from repro.sql.parser import parse_query
+from repro.storage.table import Table
+from tests.conftest import small_problems
+
+PAIRS = [
+    ("SELECT COUNT(*) FROM {t} WHERE value < {c}",
+     by_tuple_range_count, V.by_tuple_range_count_vec),
+    ("SELECT SUM(value) FROM {t} WHERE value < {c}",
+     by_tuple_range_sum, V.by_tuple_range_sum_vec),
+    ("SELECT AVG(value) FROM {t} WHERE value < {c}",
+     by_tuple_range_avg, V.by_tuple_range_avg_vec),
+    ("SELECT MAX(value) FROM {t} WHERE value < {c}",
+     by_tuple_range_max, V.by_tuple_range_max_vec),
+    ("SELECT MIN(value) FROM {t} WHERE value < {c}",
+     by_tuple_range_min, V.by_tuple_range_min_vec),
+]
+
+
+class TestScalarVectorAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(small_problems())
+    def test_all_range_algorithms(self, problem):
+        columnar = V.ColumnarTable(problem.table)
+        for template, scalar_fn, vector_fn in PAIRS:
+            query = problem.query(template)
+            scalar = scalar_fn(problem.table, problem.pmapping, query)
+            vector = vector_fn(columnar, problem.pmapping, query)
+            if scalar.is_defined:
+                assert vector.low == pytest.approx(scalar.low), template
+                assert vector.high == pytest.approx(scalar.high), template
+            else:
+                assert not vector.is_defined, template
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_problems())
+    def test_count_distribution(self, problem):
+        query = problem.query("SELECT COUNT(*) FROM {t} WHERE value < {c}")
+        scalar = by_tuple_distribution_count(
+            problem.table, problem.pmapping, query
+        )
+        vector = V.by_tuple_distribution_count_vec(
+            V.ColumnarTable(problem.table), problem.pmapping, query
+        )
+        assert vector.distribution.approx_equal(scalar.distribution, 1e-9)
+
+    def test_medium_workload(self):
+        workload = synthetic.generate_workload(2000, 8, 4, seed=11)
+        columnar = V.ColumnarTable(workload.table)
+        for template, scalar_fn, vector_fn in PAIRS:
+            op = template.split("(")[0].split()[-1]
+            query = parse_query(workload.query(AggregateOp(op)))
+            scalar = scalar_fn(workload.table, workload.pmapping, query)
+            vector = vector_fn(columnar, workload.pmapping, query)
+            assert vector.low == pytest.approx(scalar.low)
+            assert vector.high == pytest.approx(scalar.high)
+
+    def test_expected_helpers(self):
+        workload = synthetic.generate_workload(500, 6, 3, seed=5)
+        columnar = V.ColumnarTable(workload.table)
+        q = parse_query(workload.query(AggregateOp.COUNT))
+        dp = V.by_tuple_expected_count_vec(columnar, workload.pmapping, q)
+        linear = V.by_tuple_expected_count_vec(
+            columnar, workload.pmapping, q, method="linear"
+        )
+        assert dp.value == pytest.approx(linear.value)
+        q_sum = parse_query(workload.query(AggregateOp.SUM))
+        from repro.core.bytuple_sum import by_tuple_expected_sum
+
+        vec = V.by_tuple_expected_sum_vec(columnar, workload.pmapping, q_sum)
+        scalar = by_tuple_expected_sum(
+            workload.table, workload.pmapping, q_sum, method="exact"
+        )
+        assert vec.value == pytest.approx(scalar.value)
+
+
+class TestColumnarTable:
+    def test_date_columns_become_ordinals(self):
+        table = realestate.paper_instance()
+        columnar = V.ColumnarTable(table)
+        ordinals = columnar.column("postedDate")
+        assert ordinals[0] == datetime.date(2008, 1, 5).toordinal()
+
+    def test_date_condition_vectorized(self):
+        table = realestate.paper_instance()
+        pm = realestate.paper_pmapping()
+        q = parse_query(realestate.Q1)
+        answer = V.by_tuple_range_count_vec(V.ColumnarTable(table), pm, q)
+        assert answer.as_tuple() == (1, 3)
+
+    def test_nulls_rejected(self):
+        relation = synthetic.source_relation(1)
+        table = Table(relation, [(1, None)])
+        with pytest.raises(V.VectorizationError, match="NULL"):
+            V.ColumnarTable(table)
+
+    def test_unknown_column(self):
+        columnar = V.ColumnarTable(synthetic.generate_source_table(3, 2))
+        with pytest.raises(V.VectorizationError, match="no column"):
+            columnar.column("ghost")
+
+
+class TestGroupedVectorized:
+    def test_matches_scalar_grouped(self, ds2, pm2):
+        from repro.core.vectorized import run_grouped_vectorized
+
+        q = parse_query(
+            "SELECT MAX(price) FROM T2 WHERE price > 200 GROUP BY auctionID"
+        )
+        scalar = by_tuple_range_max(ds2, pm2, q)
+        vector = run_grouped_vectorized(
+            V.ColumnarTable(ds2), pm2, q, V.by_tuple_range_max_vec
+        )
+        assert set(scalar.groups) == set(vector.groups)
+        for key, answer in scalar:
+            assert vector[key].low == pytest.approx(answer.low)
+            assert vector[key].high == pytest.approx(answer.high)
+
+    def test_group_keys_converted_to_python_types(self, ds2, pm2):
+        from repro.core.vectorized import run_grouped_vectorized
+
+        q = parse_query("SELECT SUM(price) FROM T2 GROUP BY auctionID")
+        grouped = run_grouped_vectorized(
+            V.ColumnarTable(ds2), pm2, q, V.by_tuple_range_sum_vec
+        )
+        assert all(isinstance(key, int) for key in grouped.groups)
+
+    def test_flat_query_passes_through(self, ds2, pm2):
+        from repro.core.vectorized import run_grouped_vectorized
+
+        q = parse_query("SELECT MAX(price) FROM T2")
+        direct = V.by_tuple_range_max_vec(V.ColumnarTable(ds2), pm2, q)
+        routed = run_grouped_vectorized(
+            V.ColumnarTable(ds2), pm2, q, V.by_tuple_range_max_vec
+        )
+        assert direct == routed
+
+    def test_grouped_medium_workload_matches_scalar(self):
+        # A synthetic workload with an artificial group column.
+        import random
+
+        from repro.core.vectorized import run_grouped_vectorized
+        from repro.schema.correspondence import AttributeCorrespondence
+        from repro.schema.mapping import PMapping, RelationMapping
+        from repro.schema.model import Attribute, AttributeType, Relation
+
+        rng = random.Random(5)
+        relation = Relation(
+            "SRC",
+            [
+                Attribute("g", AttributeType.INT),
+                Attribute("a1", AttributeType.REAL),
+                Attribute("a2", AttributeType.REAL),
+            ],
+        )
+        target = Relation(
+            "MED",
+            [
+                Attribute("g", AttributeType.INT),
+                Attribute("value", AttributeType.REAL),
+            ],
+        )
+        rows = [
+            (rng.randint(0, 5), rng.uniform(0, 100), rng.uniform(0, 100))
+            for _ in range(500)
+        ]
+        table = Table(relation, rows)
+        mappings = [
+            RelationMapping(
+                relation, target,
+                [AttributeCorrespondence("g", "g"),
+                 AttributeCorrespondence(f"a{k}", "value")],
+                name=f"m{k}",
+            )
+            for k in (1, 2)
+        ]
+        pm = PMapping(relation, target, [(mappings[0], 0.4), (mappings[1], 0.6)])
+        q = parse_query("SELECT SUM(value) FROM MED WHERE value < 60 GROUP BY g")
+        from repro.core.bytuple_sum import by_tuple_range_sum
+
+        scalar = by_tuple_range_sum(table, pm, q)
+        vector = run_grouped_vectorized(
+            V.ColumnarTable(table), pm, q, V.by_tuple_range_sum_vec
+        )
+        assert set(scalar.groups) == set(vector.groups)
+        for key, answer in scalar:
+            assert vector[key].low == pytest.approx(answer.low)
+            assert vector[key].high == pytest.approx(answer.high)
+
+
+class TestVectorizationLimits:
+    def test_nested_query_rejected(self, ds2, pm2):
+        from repro.data import ebay
+
+        columnar = V.ColumnarTable(ds2)
+        q = parse_query(ebay.Q2)
+        with pytest.raises(V.VectorizationError, match="nested"):
+            V.by_tuple_range_max_vec(columnar, pm2, q)
+
+    def test_group_by_rejected(self, ds2, pm2):
+        columnar = V.ColumnarTable(ds2)
+        q = parse_query("SELECT MAX(price) FROM T2 GROUP BY auctionID")
+        with pytest.raises(V.VectorizationError, match="GROUP BY"):
+            V.by_tuple_range_max_vec(columnar, pm2, q)
+
+    def test_boolean_conditions_vectorize(self, ds2, pm2):
+        columnar = V.ColumnarTable(ds2)
+        q = parse_query(
+            "SELECT COUNT(*) FROM T2 WHERE (price > 200 AND price < 400) "
+            "OR NOT price >= 195"
+        )
+        vector = V.by_tuple_range_count_vec(columnar, pm2, q)
+        scalar = by_tuple_range_count(ds2, pm2, q)
+        assert vector == scalar
+
+    def test_between_and_in_vectorize(self, ds2, pm2):
+        columnar = V.ColumnarTable(ds2)
+        q = parse_query(
+            "SELECT COUNT(*) FROM T2 WHERE price BETWEEN 195 AND 340 "
+            "AND auctionID IN (34, 38)"
+        )
+        vector = V.by_tuple_range_count_vec(columnar, pm2, q)
+        scalar = by_tuple_range_count(ds2, pm2, q)
+        assert vector == scalar
