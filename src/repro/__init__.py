@@ -29,10 +29,13 @@ from repro.core.answers import (
     GroupedAnswer,
     RangeAnswer,
 )
+from repro.core.compile import CompiledQuery
 from repro.core.engine import AggregationEngine
-from repro.core.planner import Planner, complexity_matrix
+from repro.core.execute import ExecutionContext, PreparedQuery
+from repro.core.planner import ExecutionPlan, Lane, Planner, complexity_matrix
 from repro.core.semantics import AggregateOp, AggregateSemantics, MappingSemantics
 from repro.exceptions import (
+    EngineClosedError,
     EvaluationError,
     IntractableError,
     MappingError,
@@ -62,17 +65,23 @@ __all__ = [
     "Attribute",
     "AttributeCorrespondence",
     "AttributeType",
+    "CompiledQuery",
     "DiscreteDistribution",
     "DistributionAnswer",
+    "EngineClosedError",
     "EvaluationError",
+    "ExecutionContext",
+    "ExecutionPlan",
     "ExpectedValueAnswer",
     "GroupedAnswer",
     "IntractableError",
+    "Lane",
     "MappingError",
     "MatcherConfig",
     "MappingSemantics",
     "PMapping",
     "Planner",
+    "PreparedQuery",
     "RangeAnswer",
     "ReformulationError",
     "Relation",

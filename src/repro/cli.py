@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.bench import experiments
 
@@ -204,6 +205,13 @@ def _run_query(args: argparse.Namespace) -> int:
     from repro.storage.csv_io import load_table_csv
 
     if args.stream:
+        if args.repeat > 1:
+            print(
+                "error: --repeat does not combine with --stream (streaming "
+                "is a single pass over the CSV)",
+                file=sys.stderr,
+            )
+            return 2
         return _run_streamed_query(args)
     try:
         pmapping = load_pmapping(args.mapping)
@@ -216,6 +224,25 @@ def _run_query(args: argparse.Namespace) -> int:
             allow_sampling=args.samples is not None,
         )
         with engine:
+            if args.repeat > 1:
+                # Prepare once, execute N times: demonstrates the pipeline's
+                # plan reuse and reports the amortized per-execution cost.
+                prepared = engine.prepare(args.query)
+                start = time.perf_counter()
+                for _ in range(args.repeat):
+                    answer = prepared.answer(
+                        args.mapping_semantics,
+                        args.aggregate_semantics,
+                        samples=args.samples,
+                    )
+                elapsed = time.perf_counter() - start
+                print(answer)
+                print(
+                    f"{args.repeat} executions in {elapsed:.4f}s "
+                    f"({elapsed / args.repeat * 1e3:.3f} ms/execution, "
+                    "prepared once)"
+                )
+                return 0
             answer = engine.answer(
                 args.query,
                 args.mapping_semantics,
@@ -270,6 +297,11 @@ def main(argv: list[str] | None = None) -> int:
                               help="use Monte-Carlo sampling with N samples")
     query_parser.add_argument("--backend", default="memory",
                               choices=["memory", "sqlite"])
+    query_parser.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="prepare the query once and execute it N times, reporting the "
+        "amortized per-execution time (exercises the prepared-plan cache)",
+    )
     query_parser.add_argument(
         "--stream", action="store_true",
         help="single-pass streaming evaluation (by-tuple, flat queries; "

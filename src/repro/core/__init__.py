@@ -17,7 +17,9 @@ module                 contents
 ``bytuple_minmax``     ByTupleRangeMAX / ByTupleRangeMIN (Fig. 5)
 ``naive``              exponential sequence enumeration (the baseline)
 ``sampling``           Monte-Carlo estimators (paper Sec. VII future work)
-``planner``            the Figure 6 complexity matrix, algorithm dispatch
+``compile``            pipeline stage 1: CompiledQuery (parse + resolve)
+``planner``            pipeline stage 2: Figure 6 matrix, lanes, plans
+``execute``            pipeline stage 3: ExecutionContext, plan dispatch
 ``engine``             the user-facing facade
 =====================  =====================================================
 """
@@ -29,8 +31,17 @@ from repro.core.answers import (
     GroupedAnswer,
     RangeAnswer,
 )
+from repro.core.compile import CompiledQuery
 from repro.core.engine import AggregationEngine
-from repro.core.planner import AlgorithmSpec, Complexity, Planner, complexity_matrix
+from repro.core.execute import ExecutionContext, PreparedQuery
+from repro.core.planner import (
+    AlgorithmSpec,
+    Complexity,
+    ExecutionPlan,
+    Lane,
+    Planner,
+    complexity_matrix,
+)
 from repro.core.semantics import AggregateSemantics, MappingSemantics
 from repro.sql.ast import AggregateOp
 
@@ -40,12 +51,17 @@ __all__ = [
     "AggregateSemantics",
     "AggregationEngine",
     "AlgorithmSpec",
+    "CompiledQuery",
     "Complexity",
     "DistributionAnswer",
+    "ExecutionContext",
+    "ExecutionPlan",
     "ExpectedValueAnswer",
     "GroupedAnswer",
+    "Lane",
     "MappingSemantics",
     "Planner",
+    "PreparedQuery",
     "RangeAnswer",
     "complexity_matrix",
 ]

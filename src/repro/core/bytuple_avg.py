@@ -68,35 +68,36 @@ def _greedy_extreme_mean(
     return mean
 
 
+def range_avg_kernel(prepared: PreparedTupleQuery) -> RangeAnswer:
+    """The tight AVG range (greedy over optional tuples) for one problem."""
+    forced_min: list[float] = []
+    forced_max: list[float] = []
+    optional_min: list[float] = []
+    optional_max: list[float] = []
+    for vector in prepared.contribution_vectors():
+        satisfying = [c for c in vector if c is not None]
+        if not satisfying:
+            continue
+        if len(satisfying) == len(vector):
+            forced_min.append(min(satisfying))
+            forced_max.append(max(satisfying))
+        else:
+            optional_min.append(min(satisfying))
+            optional_max.append(max(satisfying))
+    low = _greedy_extreme_mean(forced_min, optional_min, minimize=True)
+    high = _greedy_extreme_mean(forced_max, optional_max, minimize=False)
+    if low is None:
+        return RangeAnswer(None, None)
+    return RangeAnswer(low, high)
+
+
 def by_tuple_range_avg(
     table: Table,
     pmapping: PMapping,
     query: AggregateQuery,
 ) -> AggregateAnswer:
     """ByTupleRangeAVG: the tight range of AVG over all mapping sequences."""
-
-    def scalar(prepared: PreparedTupleQuery) -> RangeAnswer:
-        forced_min: list[float] = []
-        forced_max: list[float] = []
-        optional_min: list[float] = []
-        optional_max: list[float] = []
-        for vector in prepared.contribution_vectors():
-            satisfying = [c for c in vector if c is not None]
-            if not satisfying:
-                continue
-            if len(satisfying) == len(vector):
-                forced_min.append(min(satisfying))
-                forced_max.append(max(satisfying))
-            else:
-                optional_min.append(min(satisfying))
-                optional_max.append(max(satisfying))
-        low = _greedy_extreme_mean(forced_min, optional_min, minimize=True)
-        high = _greedy_extreme_mean(forced_max, optional_max, minimize=False)
-        if low is None:
-            return RangeAnswer(None, None)
-        return RangeAnswer(low, high)
-
-    return run_possibly_grouped(table, pmapping, query, scalar)
+    return run_possibly_grouped(table, pmapping, query, range_avg_kernel)
 
 
 def by_tuple_range_avg_counter_method(

@@ -32,6 +32,24 @@ from repro.sql.ast import AggregateQuery
 from repro.storage.table import Table
 
 
+def range_count_kernel(
+    prepared: PreparedTupleQuery, trace: list[dict] | None = None
+) -> RangeAnswer:
+    """The Figure 2 fold over one prepared (ungrouped) problem."""
+    low = 0
+    up = 0
+    for index, vector in enumerate(prepared.contribution_vectors()):
+        participating = sum(1 for c in vector if c is not None)
+        if participating == len(vector):
+            low += 1
+            up += 1
+        elif participating > 0:
+            up += 1
+        if trace is not None:
+            trace.append({"tuple_index": index, "low": low, "up": up})
+    return RangeAnswer(low, up)
+
+
 def by_tuple_range_count(
     table: Table,
     pmapping: PMapping,
@@ -50,22 +68,9 @@ def by_tuple_range_count(
         When given, one dict per processed tuple is appended, mirroring the
         paper's Table IV trace (``tuple_index``, ``low``, ``up``).
     """
-
-    def scalar(prepared: PreparedTupleQuery) -> RangeAnswer:
-        low = 0
-        up = 0
-        for index, vector in enumerate(prepared.contribution_vectors()):
-            participating = sum(1 for c in vector if c is not None)
-            if participating == len(vector):
-                low += 1
-                up += 1
-            elif participating > 0:
-                up += 1
-            if trace is not None:
-                trace.append({"tuple_index": index, "low": low, "up": up})
-        return RangeAnswer(low, up)
-
-    return run_possibly_grouped(table, pmapping, query, scalar)
+    return run_possibly_grouped(
+        table, pmapping, query, lambda prepared: range_count_kernel(prepared, trace)
+    )
 
 
 def count_distribution_dp(
@@ -102,6 +107,17 @@ def count_distribution_dp(
     )
 
 
+def distribution_count_kernel(
+    prepared: PreparedTupleQuery, trace: list[dict] | None = None
+) -> DistributionAnswer:
+    """The Figure 3 DP over one prepared (ungrouped) problem."""
+    occurrence = [
+        prepared.satisfaction_probability(vector)
+        for vector in prepared.contribution_vectors()
+    ]
+    return DistributionAnswer(count_distribution_dp(occurrence, trace))
+
+
 def by_tuple_distribution_count(
     table: Table,
     pmapping: PMapping,
@@ -113,15 +129,12 @@ def by_tuple_distribution_count(
     Runs in O(m * n^2): each of the ``n`` tuples costs O(m) to classify and
     O(i) to fold into the distribution.
     """
-
-    def scalar(prepared: PreparedTupleQuery) -> DistributionAnswer:
-        occurrence = [
-            prepared.satisfaction_probability(vector)
-            for vector in prepared.contribution_vectors()
-        ]
-        return DistributionAnswer(count_distribution_dp(occurrence, trace))
-
-    return run_possibly_grouped(table, pmapping, query, scalar)
+    return run_possibly_grouped(
+        table,
+        pmapping,
+        query,
+        lambda prepared: distribution_count_kernel(prepared, trace),
+    )
 
 
 def by_tuple_expected_count(
@@ -151,16 +164,24 @@ def by_tuple_expected_count(
         assert isinstance(answer, DistributionAnswer)
         return answer.to_expected_value()
     if method == "linear":
-
-        def scalar(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
-            return ExpectedValueAnswer(
-                math.fsum(
-                    prepared.satisfaction_probability(vector)
-                    for vector in prepared.contribution_vectors()
-                )
-            )
-
-        return run_possibly_grouped(table, pmapping, query, scalar)
+        return run_possibly_grouped(table, pmapping, query, linear_expected_count_kernel)
     raise EvaluationError(
         f"unknown method {method!r}; expected 'distribution' or 'linear'"
+    )
+
+
+def expected_count_kernel(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
+    """Expected COUNT over one prepared problem, via the paper's DP route."""
+    return distribution_count_kernel(prepared).to_expected_value()
+
+
+def linear_expected_count_kernel(
+    prepared: PreparedTupleQuery,
+) -> ExpectedValueAnswer:
+    """Expected COUNT over one prepared problem, by linearity of expectation."""
+    return ExpectedValueAnswer(
+        math.fsum(
+            prepared.satisfaction_probability(vector)
+            for vector in prepared.contribution_vectors()
+        )
     )

@@ -68,6 +68,16 @@ def _minmax_range(
     return RangeAnswer(outer_extreme, inner)
 
 
+def range_max_kernel(prepared: PreparedTupleQuery) -> RangeAnswer:
+    """The Figure 5 MAX fold over one prepared (ungrouped) problem."""
+    return _minmax_range(prepared, maximize=True)
+
+
+def range_min_kernel(prepared: PreparedTupleQuery) -> RangeAnswer:
+    """The MIN counterpart of :func:`range_max_kernel`."""
+    return _minmax_range(prepared, maximize=False)
+
+
 def by_tuple_range_max(
     table: Table,
     pmapping: PMapping,
@@ -83,9 +93,7 @@ def by_tuple_range_max(
     [340.5, 439.95]`` (the paper prints 340.05 for the first bound — a typo
     for 340.5, the bid of transaction 3804).
     """
-    return run_possibly_grouped(
-        table, pmapping, query, lambda prepared: _minmax_range(prepared, maximize=True)
-    )
+    return run_possibly_grouped(table, pmapping, query, range_max_kernel)
 
 
 def by_tuple_range_min(
@@ -95,6 +103,4 @@ def by_tuple_range_min(
 ) -> AggregateAnswer:
     """ByTupleRangeMIN: the MIN counterpart of Figure 5 (paper Section IV-B,
     "the techniques presented here for MAX can be easily adapted")."""
-    return run_possibly_grouped(
-        table, pmapping, query, lambda prepared: _minmax_range(prepared, maximize=False)
-    )
+    return run_possibly_grouped(table, pmapping, query, range_min_kernel)

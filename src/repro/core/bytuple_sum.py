@@ -35,6 +35,63 @@ from repro.sql.ast import AggregateQuery
 from repro.storage.table import Table
 
 
+def range_sum_kernel(
+    prepared: PreparedTupleQuery, trace: list[dict] | None = None
+) -> RangeAnswer:
+    """The (tightened) Figure 4 fold over one prepared (ungrouped) problem."""
+    low = 0.0
+    up = 0.0
+    any_satisfiable = False
+    # True when the world realizing the low (resp. up) bound is known to
+    # contain at least one qualifying tuple.
+    low_world_nonempty = False
+    up_world_nonempty = False
+    best_single_min = math.inf
+    best_single_max = -math.inf
+    for index, vector in enumerate(prepared.contribution_vectors()):
+        satisfying = [c for c in vector if c is not None]
+        if not satisfying:
+            continue
+        any_satisfiable = True
+        vmin = min(satisfying)
+        vmax = max(satisfying)
+        best_single_min = min(best_single_min, vmin)
+        best_single_max = max(best_single_max, vmax)
+        forced = len(satisfying) == len(vector)
+        if forced:
+            low_contribution: float = vmin
+            up_contribution: float = vmax
+            low_world_nonempty = True
+            up_world_nonempty = True
+        else:
+            low_contribution = min(0.0, vmin)
+            up_contribution = max(0.0, vmax)
+            if low_contribution < 0.0:
+                low_world_nonempty = True
+            if up_contribution > 0.0:
+                up_world_nonempty = True
+        low += low_contribution
+        up += up_contribution
+        if trace is not None:
+            trace.append(
+                {
+                    "tuple_index": index,
+                    "vmin": vmin,
+                    "vmax": vmax,
+                    "low": low,
+                    "up": up,
+                }
+            )
+    if not any_satisfiable:
+        return RangeAnswer(None, None)
+    # If the bound-realizing world excluded every tuple, its SUM would
+    # be undefined; the tight defined bound instead includes the single
+    # cheapest (resp. most valuable) qualifying tuple.
+    final_low = low if low_world_nonempty else best_single_min
+    final_up = up if up_world_nonempty else best_single_max
+    return RangeAnswer(final_low, final_up)
+
+
 def by_tuple_range_sum(
     table: Table,
     pmapping: PMapping,
@@ -56,61 +113,9 @@ def by_tuple_range_sum(
         the paper's Table VI (``tuple_index``, ``vmin``, ``vmax``, ``low``,
         ``up``).
     """
-
-    def scalar(prepared: PreparedTupleQuery) -> RangeAnswer:
-        low = 0.0
-        up = 0.0
-        any_satisfiable = False
-        # True when the world realizing the low (resp. up) bound is known to
-        # contain at least one qualifying tuple.
-        low_world_nonempty = False
-        up_world_nonempty = False
-        best_single_min = math.inf
-        best_single_max = -math.inf
-        for index, vector in enumerate(prepared.contribution_vectors()):
-            satisfying = [c for c in vector if c is not None]
-            if not satisfying:
-                continue
-            any_satisfiable = True
-            vmin = min(satisfying)
-            vmax = max(satisfying)
-            best_single_min = min(best_single_min, vmin)
-            best_single_max = max(best_single_max, vmax)
-            forced = len(satisfying) == len(vector)
-            if forced:
-                low_contribution: float = vmin
-                up_contribution: float = vmax
-                low_world_nonempty = True
-                up_world_nonempty = True
-            else:
-                low_contribution = min(0.0, vmin)
-                up_contribution = max(0.0, vmax)
-                if low_contribution < 0.0:
-                    low_world_nonempty = True
-                if up_contribution > 0.0:
-                    up_world_nonempty = True
-            low += low_contribution
-            up += up_contribution
-            if trace is not None:
-                trace.append(
-                    {
-                        "tuple_index": index,
-                        "vmin": vmin,
-                        "vmax": vmax,
-                        "low": low,
-                        "up": up,
-                    }
-                )
-        if not any_satisfiable:
-            return RangeAnswer(None, None)
-        # If the bound-realizing world excluded every tuple, its SUM would
-        # be undefined; the tight defined bound instead includes the single
-        # cheapest (resp. most valuable) qualifying tuple.
-        final_low = low if low_world_nonempty else best_single_min
-        final_up = up if up_world_nonempty else best_single_max
-        return RangeAnswer(final_low, final_up)
-
-    return run_possibly_grouped(table, pmapping, query, scalar)
+    return run_possibly_grouped(
+        table, pmapping, query, lambda prepared: range_sum_kernel(prepared, trace)
+    )
 
 
 def by_tuple_expected_sum(
@@ -144,26 +149,7 @@ def by_tuple_expected_sum(
     All three coincide whenever no possible world is empty.
     """
     if method == "exact":
-
-        def scalar(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
-            total = 0.0
-            empty_world_probability = 1.0
-            any_satisfiable = False
-            for vector in prepared.contribution_vectors():
-                occurrence = 0.0
-                for probability, contribution in zip(
-                    prepared.probabilities, vector
-                ):
-                    if contribution is not None:
-                        any_satisfiable = True
-                        occurrence += probability
-                        total += probability * contribution
-                empty_world_probability *= 1.0 - occurrence
-            if not any_satisfiable or empty_world_probability >= 1.0:
-                return ExpectedValueAnswer(None)
-            return ExpectedValueAnswer(total / (1.0 - empty_world_probability))
-
-        return run_possibly_grouped(table, pmapping, query, scalar)
+        return run_possibly_grouped(table, pmapping, query, expected_sum_kernel)
     if method == "by-table":
         chosen = executor if executor is not None else memory_executor(
             {pmapping.source.name: table}
@@ -172,22 +158,41 @@ def by_tuple_expected_sum(
             query, pmapping, chosen, AggregateSemantics.EXPECTED_VALUE
         )
     if method == "linear":
-
-        def scalar(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
-            total = 0.0
-            any_satisfiable = False
-            for vector in prepared.contribution_vectors():
-                for probability, contribution in zip(
-                    prepared.probabilities, vector
-                ):
-                    if contribution is not None:
-                        any_satisfiable = True
-                        total += probability * contribution
-            if not any_satisfiable:
-                return ExpectedValueAnswer(None)
-            return ExpectedValueAnswer(total)
-
-        return run_possibly_grouped(table, pmapping, query, scalar)
+        return run_possibly_grouped(table, pmapping, query, linear_expected_sum_kernel)
     raise EvaluationError(
         f"unknown method {method!r}; expected 'exact', 'by-table', or 'linear'"
     )
+
+
+def expected_sum_kernel(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
+    """Exact conditional expected SUM over one prepared problem."""
+    total = 0.0
+    empty_world_probability = 1.0
+    any_satisfiable = False
+    for vector in prepared.contribution_vectors():
+        occurrence = 0.0
+        for probability, contribution in zip(prepared.probabilities, vector):
+            if contribution is not None:
+                any_satisfiable = True
+                occurrence += probability
+                total += probability * contribution
+        empty_world_probability *= 1.0 - occurrence
+    if not any_satisfiable or empty_world_probability >= 1.0:
+        return ExpectedValueAnswer(None)
+    return ExpectedValueAnswer(total / (1.0 - empty_world_probability))
+
+
+def linear_expected_sum_kernel(
+    prepared: PreparedTupleQuery,
+) -> ExpectedValueAnswer:
+    """Unconditional expected SUM over one prepared problem."""
+    total = 0.0
+    any_satisfiable = False
+    for vector in prepared.contribution_vectors():
+        for probability, contribution in zip(prepared.probabilities, vector):
+            if contribution is not None:
+                any_satisfiable = True
+                total += probability * contribution
+    if not any_satisfiable:
+        return ExpectedValueAnswer(None)
+    return ExpectedValueAnswer(total)

@@ -17,10 +17,18 @@ aggregates skip NULLs).  For ``COUNT`` the contributed value is ``1``.
 GROUP BY is handled here as well: the grouping attribute must be *certain*
 (mapped to the same source attribute by every candidate mapping), in which
 case rows are partitioned once and each algorithm runs per group.
+
+A prepared query is *reusable*: the compiled predicates are built once, and
+:meth:`PreparedTupleQuery.materialize` additionally pins the contribution
+vectors (and the GROUP BY partition) so that re-executing an algorithm over
+the same data skips per-row predicate evaluation entirely.  The prepared
+plans of :mod:`repro.core.execute` rely on this for their execute-many
+amortization; one-shot callers never pay the extra memory.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Callable, Iterator
 
 from repro.core.answers import AggregateAnswer, GroupedAnswer
@@ -115,6 +123,8 @@ class PreparedTupleQuery:
             relation.index_of(next(iter(group_sources))) if group_sources else None
         )
         self._relation = relation
+        self._vectors: list[ContributionVector] | None = None
+        self._partitioned: dict[object, PreparedTupleQuery] | None = None
 
     @property
     def mapping_count(self) -> int:
@@ -144,7 +154,16 @@ class PreparedTupleQuery:
         return value
 
     def contribution_vectors(self) -> Iterator[ContributionVector]:
-        """Per-tuple contribution vectors, one per row, in row order."""
+        """Per-tuple contribution vectors, one per row, in row order.
+
+        Served from the pinned list after :meth:`materialize`; otherwise
+        generated on the fly (one Row + ``m`` predicate calls per tuple).
+        """
+        if self._vectors is not None:
+            return iter(self._vectors)
+        return self._generate_vectors()
+
+    def _generate_vectors(self) -> Iterator[ContributionVector]:
         relation = self._relation
         predicates = self._predicates
         argument_indexes = self._argument_indexes
@@ -169,12 +188,45 @@ class PreparedTupleQuery:
             yield tuple(vector)
 
     def satisfaction_probability(self, vector: ContributionVector) -> float:
-        """Probability that a tuple with this vector participates."""
-        return sum(
+        """Probability that a tuple with this vector participates.
+
+        Exactly 1.0 when the tuple participates under every mapping (the
+        candidate probabilities form a distribution by Definition 2), so a
+        sure tuple never leaks an ulp-sized impossible outcome into the
+        count DP's support.
+        """
+        if all(contribution is not None for contribution in vector):
+            return 1.0
+        return math.fsum(
             p
             for p, contribution in zip(self.probabilities, vector)
             if contribution is not None
         )
+
+    # -- reuse ---------------------------------------------------------------
+
+    @property
+    def is_materialized(self) -> bool:
+        """True once the contribution vectors are pinned in memory."""
+        return self._vectors is not None
+
+    def materialize(self) -> "PreparedTupleQuery":
+        """Pin the contribution vectors (and partition) for re-execution.
+
+        Costs one full evaluation pass and O(n * m) memory; afterwards every
+        algorithm run over this prepared query folds the pinned vectors
+        without re-evaluating any predicate.  Idempotent.  The pinned state
+        reflects the table rows at call time — mutating the table afterwards
+        requires a freshly prepared query.
+        """
+        if self._vectors is None:
+            self._vectors = list(self._generate_vectors())
+            # Any partition built before pinning lacks the vectors; the
+            # next partition() call rebuilds the subs over the pinned list.
+            self._partitioned = None
+        if self._group_index is not None:
+            self.partition()
+        return self
 
     # -- grouping ------------------------------------------------------------
 
@@ -183,13 +235,24 @@ class PreparedTupleQuery:
 
         Group membership does not depend on the WHERE condition: a group
         exists as soon as some row carries its key, and by-tuple algorithms
-        then decide per mapping which of its rows participate.
+        then decide per mapping which of its rows participate.  The split is
+        computed once and cached; sub-problems share the compiled predicates
+        (and, when materialized, the parent's pinned vectors).
         """
         if self._group_index is None:
             raise UnsupportedQueryError("query has no GROUP BY")
+        if self._partitioned is not None:
+            return self._partitioned
         buckets: dict[object, list[tuple]] = {}
-        for values in self.rows:
-            buckets.setdefault(values[self._group_index], []).append(values)
+        vector_buckets: dict[object, list[ContributionVector]] = {}
+        if self._vectors is None:
+            for values in self.rows:
+                buckets.setdefault(values[self._group_index], []).append(values)
+        else:
+            for values, vector in zip(self.rows, self._vectors):
+                key = values[self._group_index]
+                buckets.setdefault(key, []).append(values)
+                vector_buckets.setdefault(key, []).append(vector)
         out: dict[object, PreparedTupleQuery] = {}
         for key, rows in buckets.items():
             sub = object.__new__(PreparedTupleQuery)
@@ -203,8 +266,33 @@ class PreparedTupleQuery:
             sub._argument_indexes = self._argument_indexes
             sub._group_index = self._group_index
             sub._relation = self._relation
+            sub._vectors = vector_buckets.get(key)
+            sub._partitioned = None
             out[key] = sub
+        self._partitioned = out
         return out
+
+
+def run_prepared(
+    prepared: PreparedTupleQuery,
+    scalar_algorithm: Callable[[PreparedTupleQuery], AggregateAnswer],
+) -> AggregateAnswer:
+    """Run a scalar by-tuple algorithm over an already-prepared query.
+
+    Either runs directly or fans out over the (cached) GROUP BY partition
+    and wraps the results in a :class:`~repro.core.answers.GroupedAnswer`.
+    This is the execute half of the prepare-once/execute-many split: the
+    prepared query may be reused across calls (and across algorithms for
+    different aggregate semantics of the same cell row).
+    """
+    if not prepared.has_group_by:
+        return scalar_algorithm(prepared)
+    return GroupedAnswer(
+        {
+            key: scalar_algorithm(sub)
+            for key, sub in prepared.partition().items()
+        }
+    )
 
 
 def run_possibly_grouped(
@@ -213,18 +301,11 @@ def run_possibly_grouped(
     query: AggregateQuery,
     scalar_algorithm: Callable[[PreparedTupleQuery], AggregateAnswer],
 ) -> AggregateAnswer:
-    """Run a scalar by-tuple algorithm, fanning out over GROUP BY groups.
+    """Prepare a by-tuple query and run a scalar algorithm over it.
 
-    This is the shared driver used by every PTIME by-tuple algorithm:
-    prepare once, and either run directly or run per group and wrap the
-    results in a :class:`~repro.core.answers.GroupedAnswer`.
+    This is the one-shot driver used by the standalone algorithm functions:
+    prepare once, then delegate to :func:`run_prepared`.
     """
-    prepared = PreparedTupleQuery(table, pmapping, query)
-    if not prepared.has_group_by:
-        return scalar_algorithm(prepared)
-    return GroupedAnswer(
-        {
-            key: scalar_algorithm(sub)
-            for key, sub in prepared.partition().items()
-        }
+    return run_prepared(
+        PreparedTupleQuery(table, pmapping, query), scalar_algorithm
     )

@@ -1,4 +1,4 @@
-"""The user-facing facade: parse, plan, and answer aggregate queries.
+"""The user-facing facade: compile, plan, and execute aggregate queries.
 
 :class:`AggregationEngine` owns the source tables and the schema p-mapping,
 and answers queries posed on the mediated schema under any of the six
@@ -12,6 +12,25 @@ RangeAnswer([1, 3])
 Mapping and aggregate semantics accept either the enums or their string
 values (``"by-table"``/``"by-tuple"``, ``"range"``/``"distribution"``/
 ``"expected-value"``).
+
+Answering runs a three-stage pipeline:
+
+1. **compile** (:mod:`repro.core.compile`) — parse the text, resolve the
+   ``(Table, PMapping)`` pair, prepare per-mapping reformulations and
+   condition evaluators; once per (query, engine);
+2. **plan** (:meth:`repro.core.planner.Planner.plan`) — bind the compiled
+   query and a semantics cell to an execution lane, with the fallback
+   chain recorded on the resulting
+   :class:`~repro.core.planner.ExecutionPlan`;
+3. **execute** (:mod:`repro.core.execute`) — run the plan against the
+   engine's :class:`~repro.core.execute.ExecutionContext` (executor,
+   columnar cache, sampling defaults).
+
+:meth:`answer` runs all three stages, serving repeats from the context's
+LRU caches; :meth:`prepare` returns a
+:class:`~repro.core.execute.PreparedQuery` handle whose repeated
+:meth:`~repro.core.execute.PreparedQuery.answer` calls also skip per-row
+predicate evaluation by pinning the contribution vectors.
 
 Nested queries (a subquery in FROM, the paper's Q2 shape) are supported:
 
@@ -30,56 +49,25 @@ Nested queries (a subquery in FROM, the paper's Q2 shape) are supported:
 
 from __future__ import annotations
 
-import math
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core import bytable
-from repro.core.answers import (
-    AggregateAnswer,
-    ExpectedValueAnswer,
-    GroupedAnswer,
-    RangeAnswer,
+from repro.core.answers import AggregateAnswer
+from repro.core.compile import CompiledQuery
+from repro.core.execute import ExecutionContext, PreparedQuery
+from repro.core.planner import AlgorithmSpec, ExecutionPlan, Planner
+from repro.core.semantics import (
+    AggregateSemantics,
+    MappingSemantics,
+    coerce_aggregate_semantics,
+    coerce_mapping_semantics,
 )
-from repro.core.eval import apply_aggregate
-from repro.core.planner import AlgorithmSpec, EvaluationRequest, Planner
-from repro.core.semantics import AggregateSemantics, MappingSemantics
-from repro.exceptions import (
-    EvaluationError,
-    IntractableError,
-    MappingError,
-    UnsupportedQueryError,
-)
+from repro.exceptions import EvaluationError, IntractableError, MappingError
 from repro.schema.mapping import PMapping, SchemaPMapping
-from repro.sql.ast import AggregateOp, AggregateQuery, SubquerySource
+from repro.sql.ast import AggregateQuery
 from repro.sql.parser import parse_query
 from repro.storage.sqlite_backend import SQLiteBackend
 from repro.storage.table import Table
-
-
-def _coerce_mapping_semantics(value: MappingSemantics | str) -> MappingSemantics:
-    if isinstance(value, MappingSemantics):
-        return value
-    try:
-        return MappingSemantics(value)
-    except ValueError:
-        choices = ", ".join(s.value for s in MappingSemantics)
-        raise EvaluationError(
-            f"unknown mapping semantics {value!r} (choices: {choices})"
-        ) from None
-
-
-def _coerce_aggregate_semantics(
-    value: AggregateSemantics | str,
-) -> AggregateSemantics:
-    if isinstance(value, AggregateSemantics):
-        return value
-    try:
-        return AggregateSemantics(value)
-    except ValueError:
-        choices = ", ".join(s.value for s in AggregateSemantics)
-        raise EvaluationError(
-            f"unknown aggregate semantics {value!r} (choices: {choices})"
-        ) from None
 
 
 class AggregationEngine:
@@ -151,31 +139,44 @@ class AggregationEngine:
             allow_sampling=allow_sampling,
             use_extensions=use_extensions,
         )
-        self._samples = samples
-        self._seed = seed
-        self._max_sequences = max_sequences
-        self._vectorize = vectorize
-        self._columnar_cache: dict[str, object] = {}
-        self._backend: SQLiteBackend | None = None
+        sqlite_backend: SQLiteBackend | None = None
         if backend == "sqlite":
-            self._backend = SQLiteBackend()
+            sqlite_backend = SQLiteBackend()
             for table in self._tables.values():
-                self._backend.materialize(table)
-            self._executor = bytable.sqlite_executor(self._backend)
+                sqlite_backend.materialize(table)
+            executor = bytable.sqlite_executor(sqlite_backend)
         elif backend == "memory":
-            self._executor = bytable.memory_executor(self._tables)
+            executor = bytable.memory_executor(self._tables)
         else:
             raise EvaluationError(
                 f"unknown backend {backend!r} (choices: memory, sqlite)"
             )
+        self.context = ExecutionContext(
+            self._tables,
+            self._schema_pmapping,
+            executor,
+            backend=sqlite_backend,
+            vectorize=vectorize,
+            samples=samples,
+            seed=seed,
+            max_sequences=max_sequences,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
+    @property
+    def _columnar_cache(self) -> dict[str, object]:
+        # Backwards-compatible alias; the cache now lives on the context.
+        return self.context.columnar_cache
+
     def close(self) -> None:
-        """Release the SQLite backend, if any."""
-        if self._backend is not None:
-            self._backend.close()
-            self._backend = None
+        """Release the SQLite backend, if any.
+
+        A SQLite-backed engine refuses further work after ``close()``
+        (:class:`EvaluationError` ``"engine is closed"``); a memory-backed
+        engine holds no external resources and keeps answering.
+        """
+        self.context.close()
 
     def __enter__(self) -> "AggregationEngine":
         return self
@@ -183,34 +184,36 @@ class AggregationEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    # -- resolution --------------------------------------------------------
+    # -- pipeline ----------------------------------------------------------
 
-    def _resolve(self, query: AggregateQuery) -> tuple[Table, PMapping]:
-        source = query.source
-        while isinstance(source, SubquerySource):
-            source = source.query.source
-        pmapping = self._schema_pmapping.for_target(source.name)
-        return self._tables[pmapping.source.name], pmapping
+    def compile(self, query: str | AggregateQuery) -> CompiledQuery:
+        """Stage 1: the compiled form of ``query`` (cached by text)."""
+        return self.context.compile(query)
 
-    def _request(
+    def prepare(self, query: str | AggregateQuery) -> PreparedQuery:
+        """Compile ``query`` into a reusable prepared-plan handle.
+
+        The handle answers any semantics cell via
+        :meth:`~repro.core.execute.PreparedQuery.answer`; its first by-tuple
+        execution pins the contribution vectors so later executions skip
+        per-row predicate evaluation.  Repeated :meth:`prepare` calls with
+        the same query text return the cached handle.
+        """
+        self.context.ensure_open()
+        return self.context.prepare(self.planner, query)
+
+    def plan(
         self,
-        table: Table,
-        pmapping: PMapping,
-        query: AggregateQuery,
-        samples: int | None,
-        seed: int | None,
-        max_sequences: int | None,
-    ) -> EvaluationRequest:
-        return EvaluationRequest(
-            table,
-            pmapping,
-            query,
-            self._executor,
-            samples=self._samples if samples is None else samples,
-            seed=self._seed if seed is None else seed,
-            max_sequences=(
-                self._max_sequences if max_sequences is None else max_sequences
-            ),
+        query: str | AggregateQuery,
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+    ) -> ExecutionPlan:
+        """Stage 2: the execution plan for one cell (inspectable, cached)."""
+        return self.context.plan(
+            self.planner,
+            self.context.compile(query),
+            coerce_mapping_semantics(mapping_semantics),
+            coerce_aggregate_semantics(aggregate_semantics),
         )
 
     # -- answering ---------------------------------------------------------
@@ -227,83 +230,48 @@ class AggregationEngine:
     ) -> AggregateAnswer:
         """Answer ``query`` under one semantics cell.
 
+        Runs the full compile/plan/execute pipeline; the compile and plan
+        stages are served from the engine's LRU caches on repeats.
+
         Raises
         ------
         IntractableError
             When the cell has no PTIME algorithm and the engine's policy
             forbids both the exponential fallback and sampling.
         """
-        if isinstance(query, str):
-            query = parse_query(query)
-        mapping_sem = _coerce_mapping_semantics(mapping_semantics)
-        aggregate_sem = _coerce_aggregate_semantics(aggregate_semantics)
-        table, pmapping = self._resolve(query)
-        request = self._request(table, pmapping, query, samples, seed, max_sequences)
-
-        if mapping_sem is MappingSemantics.BY_TABLE:
-            spec = self.planner.algorithm_for(
-                query.aggregate.op, mapping_sem, aggregate_sem
-            )
-            return spec.run(request)
-
-        if isinstance(query.source, SubquerySource):
-            return self._answer_nested_by_tuple(request, aggregate_sem)
-        if self._vectorize:
-            vectorized_answer = self._try_vectorized(request, aggregate_sem)
-            if vectorized_answer is not None:
-                return vectorized_answer
-        spec = self.planner.algorithm_for(
-            query.aggregate.op, mapping_sem, aggregate_sem
+        self.context.ensure_open()
+        plan = self.plan(query, mapping_semantics, aggregate_semantics)
+        return plan.answer(
+            samples=samples, seed=seed, max_sequences=max_sequences
         )
-        return spec.run(request)
 
-    def _try_vectorized(
+    def answer_many(
         self,
-        request: EvaluationRequest,
-        aggregate_semantics: AggregateSemantics,
-    ) -> AggregateAnswer | None:
-        """Answer a flat by-tuple cell on the numpy fast path, or ``None``.
+        queries: Iterable[str | AggregateQuery],
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+        *,
+        samples: int | None = None,
+        seed: int | None = None,
+        max_sequences: int | None = None,
+    ) -> list[AggregateAnswer]:
+        """Answer a batch of queries under one semantics cell.
 
-        Returns ``None`` (scalar fallback) for cells without a vectorized
-        implementation, or when the query/data falls outside the
-        vectorizable fragment (nullable columns, LIKE, ...).
+        Each query is prepared once (shared with any earlier
+        :meth:`prepare`/:meth:`answer` of the same text via the context
+        caches), so repeated texts in the batch pay compilation and
+        planning only once.
         """
-        from repro.core import vectorized
-
-        op = request.query.aggregate.op
-        cell = (op, aggregate_semantics)
-        functions = {
-            (AggregateOp.COUNT, AggregateSemantics.RANGE):
-                vectorized.by_tuple_range_count_vec,
-            (AggregateOp.COUNT, AggregateSemantics.DISTRIBUTION):
-                vectorized.by_tuple_distribution_count_vec,
-            (AggregateOp.COUNT, AggregateSemantics.EXPECTED_VALUE):
-                vectorized.by_tuple_expected_count_vec,
-            (AggregateOp.SUM, AggregateSemantics.RANGE):
-                vectorized.by_tuple_range_sum_vec,
-            (AggregateOp.SUM, AggregateSemantics.EXPECTED_VALUE):
-                vectorized.by_tuple_expected_sum_vec,
-            (AggregateOp.AVG, AggregateSemantics.RANGE):
-                vectorized.by_tuple_range_avg_vec,
-            (AggregateOp.MIN, AggregateSemantics.RANGE):
-                vectorized.by_tuple_range_min_vec,
-            (AggregateOp.MAX, AggregateSemantics.RANGE):
-                vectorized.by_tuple_range_max_vec,
-        }
-        scalar_vectorized = functions.get(cell)
-        if scalar_vectorized is None:
-            return None
-        name = request.pmapping.source.name
-        try:
-            columnar = self._columnar_cache.get(name)
-            if columnar is None:
-                columnar = vectorized.ColumnarTable(request.table)
-                self._columnar_cache[name] = columnar
-            return vectorized.run_grouped_vectorized(
-                columnar, request.pmapping, request.query, scalar_vectorized
+        return [
+            self.prepare(query).answer(
+                mapping_semantics,
+                aggregate_semantics,
+                samples=samples,
+                seed=seed,
+                max_sequences=max_sequences,
             )
-        except vectorized.VectorizationError:
-            return None
+            for query in queries
+        ]
 
     def algorithm_for(
         self,
@@ -316,8 +284,8 @@ class AggregationEngine:
             query = parse_query(query)
         return self.planner.algorithm_for(
             query.aggregate.op,
-            _coerce_mapping_semantics(mapping_semantics),
-            _coerce_aggregate_semantics(aggregate_semantics),
+            coerce_mapping_semantics(mapping_semantics),
+            coerce_aggregate_semantics(aggregate_semantics),
         )
 
     def answer_six(
@@ -327,154 +295,25 @@ class AggregationEngine:
     ) -> dict[tuple[MappingSemantics, AggregateSemantics], AggregateAnswer]:
         """All six semantics cells for one query (the paper's Table III).
 
-        Cells whose evaluation is intractable under the engine's policy are
-        reported as the raised :class:`IntractableError` instance rather
-        than aborting the whole table.
+        The query is parsed and compiled exactly once; each cell then only
+        plans and executes.  Cells whose evaluation is intractable under
+        the engine's policy are reported as the raised
+        :class:`IntractableError` instance rather than aborting the whole
+        table.
         """
+        prepared = self.prepare(query)
         results: dict[
             tuple[MappingSemantics, AggregateSemantics], AggregateAnswer
         ] = {}
         for mapping_sem in MappingSemantics:
             for aggregate_sem in AggregateSemantics:
                 try:
-                    results[(mapping_sem, aggregate_sem)] = self.answer(
-                        query, mapping_sem, aggregate_sem, **options
+                    results[(mapping_sem, aggregate_sem)] = prepared.answer(
+                        mapping_sem, aggregate_sem, **options
                     )
                 except IntractableError as error:
                     results[(mapping_sem, aggregate_sem)] = error
         return results
 
-    # -- nested by-tuple ----------------------------------------------------
 
-    def _answer_nested_by_tuple(
-        self,
-        request: EvaluationRequest,
-        aggregate_semantics: AggregateSemantics,
-    ) -> AggregateAnswer:
-        if aggregate_semantics is AggregateSemantics.RANGE:
-            return self._nested_by_tuple_range(request)
-        if self.planner.use_extensions:
-            # Beyond the paper (its Section VII future work): interpret the
-            # inner per-group results as independent random variables and
-            # compose them exactly.  Falls through when the inner operator
-            # has no exact polynomial distribution or a group can be
-            # undefined in some world.
-            composed = self._nested_by_tuple_composition(
-                request, aggregate_semantics
-            )
-            if composed is not None:
-                return composed
-        # Distribution / expected value over a nested query: exact only via
-        # enumeration; otherwise sampling.
-        spec = _nested_fallback(self.planner, aggregate_semantics)
-        return spec.run(request)
-
-    def _nested_by_tuple_composition(
-        self,
-        request: EvaluationRequest,
-        aggregate_semantics: AggregateSemantics,
-    ) -> AggregateAnswer | None:
-        from repro.core import extensions, nested
-        from repro.core.answers import DistributionAnswer
-        from repro.core.bytuple_count import by_tuple_distribution_count
-
-        query = request.query
-        assert isinstance(query.source, SubquerySource)
-        inner = query.source.query
-        if query.aggregate.distinct:
-            return None
-        inner_op = inner.aggregate.op
-        try:
-            if inner_op is AggregateOp.COUNT:
-                inner_answer = by_tuple_distribution_count(
-                    request.table, request.pmapping, inner
-                )
-            elif inner_op is AggregateOp.MAX:
-                inner_answer = extensions.by_tuple_distribution_max(
-                    request.table, request.pmapping, inner
-                )
-            elif inner_op is AggregateOp.MIN:
-                inner_answer = extensions.by_tuple_distribution_min(
-                    request.table, request.pmapping, inner
-                )
-            else:
-                return None  # inner SUM/AVG: no exact polynomial route
-            if isinstance(inner_answer, GroupedAnswer):
-                group_answers = [answer for _, answer in inner_answer]
-            else:
-                group_answers = [inner_answer]
-            distributions = []
-            for answer in group_answers:
-                assert isinstance(answer, DistributionAnswer)
-                if not answer.is_defined or answer.undefined_probability > 1e-12:
-                    return None  # world-dependent group set: fall back
-                distributions.append(answer.distribution)
-            outer_op = query.aggregate.op
-            if aggregate_semantics is AggregateSemantics.EXPECTED_VALUE:
-                # Linearity of expectation avoids the convolution (whose
-                # support can explode) for the additive outer operators.
-                if outer_op is AggregateOp.SUM:
-                    return ExpectedValueAnswer(
-                        math.fsum(d.expected_value() for d in distributions)
-                    )
-                if outer_op is AggregateOp.AVG:
-                    return ExpectedValueAnswer(
-                        math.fsum(d.expected_value() for d in distributions)
-                        / len(distributions)
-                    )
-            distribution = nested.compose_independent(
-                outer_op, distributions
-            )
-        except EvaluationError:
-            return None  # support blow-up or similar: fall back
-        answer = DistributionAnswer(distribution)
-        if aggregate_semantics is AggregateSemantics.DISTRIBUTION:
-            return answer
-        return answer.to_expected_value()
-
-    def _nested_by_tuple_range(
-        self, request: EvaluationRequest
-    ) -> RangeAnswer:
-        query = request.query
-        assert isinstance(query.source, SubquerySource)
-        inner = query.source.query
-        if query.aggregate.distinct:
-            raise UnsupportedQueryError(
-                "DISTINCT on the outer aggregate of a nested by-tuple range "
-                "query is not supported"
-            )
-        inner_spec = self.planner.algorithm_for(
-            inner.aggregate.op,
-            MappingSemantics.BY_TUPLE,
-            AggregateSemantics.RANGE,
-        )
-        inner_request = self._request(
-            request.table, request.pmapping, inner, None, None, None
-        )
-        inner_answer = inner_spec.run(inner_request)
-        if isinstance(inner_answer, GroupedAnswer):
-            ranges = [r for _, r in inner_answer]
-        else:
-            ranges = [inner_answer]
-        defined = [r for r in ranges if isinstance(r, RangeAnswer) and r.is_defined]
-        if not defined:
-            return RangeAnswer(None, None)
-        low = apply_aggregate(query.aggregate.op, [r.low for r in defined])
-        high = apply_aggregate(query.aggregate.op, [r.high for r in defined])
-        return RangeAnswer(low, high)
-
-
-def _nested_fallback(
-    planner: Planner, aggregate_semantics: AggregateSemantics
-) -> AlgorithmSpec:
-    """Naive or sampling spec for nested by-tuple distribution/expected."""
-    from repro.core.planner import _naive_spec, _sampling_spec
-
-    if planner.allow_exponential:
-        return _naive_spec(aggregate_semantics)
-    if planner.allow_sampling:
-        return _sampling_spec(aggregate_semantics)
-    raise IntractableError(
-        "nested by-tuple queries under the distribution/expected value "
-        "semantics require allow_exponential=True or allow_sampling=True"
-    )
+__all__: Sequence[str] = ["AggregationEngine"]

@@ -1,0 +1,432 @@
+"""Stage 3 of the answer pipeline: run execution plans against engine state.
+
+:class:`ExecutionContext` is the per-engine home for everything execution
+needs that outlives a single call: the source tables, the certain-query
+executor (in-memory or SQLite), the lazily-built columnar cache for the
+vectorized lane, the sampling/enumeration defaults, and the LRU caches —
+compiled queries keyed by query text, execution plans keyed by
+``(query text, mapping semantics, aggregate semantics)``, and prepared
+query handles keyed by query text.
+
+:func:`execute_plan` dispatches an :class:`~repro.core.planner.ExecutionPlan`
+on its lane; :class:`PreparedQuery` is the user-facing prepare-once/
+execute-many handle returned by
+:meth:`~repro.core.engine.AggregationEngine.prepare`, which additionally
+pins the contribution vectors (see
+:meth:`repro.core.common.PreparedTupleQuery.materialize`) so repeated
+executions skip per-row predicate evaluation entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from collections.abc import Mapping
+
+from repro.core import bytable
+from repro.core.answers import (
+    AggregateAnswer,
+    DistributionAnswer,
+    ExpectedValueAnswer,
+    GroupedAnswer,
+    RangeAnswer,
+)
+from repro.core.common import run_prepared
+from repro.core.compile import CompiledQuery, cache_key, compile_query
+from repro.core.eval import apply_aggregate
+from repro.core.planner import EvaluationRequest, ExecutionPlan, Lane, Planner
+from repro.core.semantics import (
+    AggregateSemantics,
+    MappingSemantics,
+    coerce_aggregate_semantics,
+    coerce_mapping_semantics,
+)
+from repro.exceptions import (
+    EngineClosedError,
+    EvaluationError,
+    IntractableError,
+    UnsupportedQueryError,
+)
+from repro.schema.mapping import SchemaPMapping
+from repro.sql.ast import AggregateOp, AggregateQuery
+from repro.storage.sqlite_backend import SQLiteBackend
+from repro.storage.table import Table
+
+#: Default capacity of each LRU cache (compiled queries, plans, prepared
+#: handles).  Generous for interactive use, bounded for query-churn traffic.
+DEFAULT_CACHE_SIZE = 128
+
+
+class ExecutionContext:
+    """Per-engine execution state shared by every plan.
+
+    Unifies what used to be scattered across the engine: tables, the
+    executor closure, the optional SQLite backend, the columnar cache, and
+    the evaluation defaults — plus the pipeline's LRU caches.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, Table],
+        schema_pmapping: SchemaPMapping,
+        executor: bytable.CertainExecutor,
+        *,
+        backend: SQLiteBackend | None = None,
+        vectorize: bool = False,
+        samples: int = 2000,
+        seed: int | None = None,
+        max_sequences: int = 1 << 22,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        self.tables = dict(tables)
+        self.schema_pmapping = schema_pmapping
+        self.executor = executor
+        self.backend = backend
+        self.vectorize = vectorize
+        self.samples = samples
+        self.seed = seed
+        self.max_sequences = max_sequences
+        self.columnar_cache: dict[str, object] = {}
+        self.cache_size = cache_size
+        self.closed = False
+        self._compiled: OrderedDict[str, CompiledQuery] = OrderedDict()
+        self._plans: OrderedDict[
+            tuple[str, MappingSemantics, AggregateSemantics], ExecutionPlan
+        ] = OrderedDict()
+        self._prepared: OrderedDict[str, PreparedQuery] = OrderedDict()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def ensure_open(self) -> None:
+        """Raise when the engine backing this context has been closed."""
+        if self.closed:
+            raise EngineClosedError("engine is closed")
+
+    def close(self) -> None:
+        """Release the SQLite backend (if any) and refuse further execution."""
+        if self.backend is not None:
+            self.backend.close()
+            self.backend = None
+            self.closed = True
+
+    def invalidate(self) -> None:
+        """Drop every cache (compiled, plans, prepared, columnar).
+
+        Call after mutating a source table or swapping the planner; cached
+        state reflects the data and policy at compile/plan time.
+        """
+        self._compiled.clear()
+        self._plans.clear()
+        self._prepared.clear()
+        self.columnar_cache.clear()
+
+    # -- caches ------------------------------------------------------------
+
+    def _remember(self, cache: OrderedDict, key, value) -> None:
+        cache[key] = value
+        cache.move_to_end(key)
+        while len(cache) > self.cache_size:
+            cache.popitem(last=False)
+
+    def compile(self, query: str | AggregateQuery) -> CompiledQuery:
+        """Compile a query, serving repeats from the text-keyed LRU cache."""
+        key = cache_key(query)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = compile_query(query, self.tables, self.schema_pmapping)
+            self._remember(self._compiled, key, compiled)
+        else:
+            self._compiled.move_to_end(key)
+        return compiled
+
+    def plan(
+        self,
+        planner: Planner,
+        compiled: CompiledQuery,
+        mapping_semantics: MappingSemantics,
+        aggregate_semantics: AggregateSemantics,
+    ) -> ExecutionPlan:
+        """The cell's execution plan, from the LRU plan cache.
+
+        Keyed by ``(query text, mapping semantics, aggregate semantics)``;
+        a hit returns the identical :class:`ExecutionPlan` object.
+        """
+        key = (compiled.text, mapping_semantics, aggregate_semantics)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = planner.plan(
+                compiled, mapping_semantics, aggregate_semantics, self
+            )
+            self._remember(self._plans, key, plan)
+        else:
+            self._plans.move_to_end(key)
+        return plan
+
+    def prepare(
+        self, planner: Planner, query: str | AggregateQuery
+    ) -> "PreparedQuery":
+        """A (cached) prepared-plan handle for the query."""
+        compiled = self.compile(query)
+        prepared = self._prepared.get(compiled.text)
+        if prepared is None:
+            prepared = PreparedQuery(compiled, planner, self)
+            self._remember(self._prepared, compiled.text, prepared)
+        else:
+            self._prepared.move_to_end(compiled.text)
+        return prepared
+
+
+class PreparedQuery:
+    """A query compiled once, answerable under any semantics cell.
+
+    The prepare-once/execute-many handle: the first execution of a
+    by-tuple lane materializes the contribution vectors
+    (:meth:`~repro.core.compile.CompiledQuery.materialize`), so every
+    subsequent :meth:`answer` folds pinned vectors instead of re-evaluating
+    predicates row by row.  Obtain via
+    :meth:`~repro.core.engine.AggregationEngine.prepare`.
+    """
+
+    __slots__ = ("compiled", "_planner", "_context")
+
+    def __init__(
+        self,
+        compiled: CompiledQuery,
+        planner: Planner,
+        context: ExecutionContext,
+    ) -> None:
+        self.compiled = compiled
+        self._planner = planner
+        self._context = context
+
+    @property
+    def query(self) -> AggregateQuery:
+        """The parsed query."""
+        return self.compiled.query
+
+    @property
+    def text(self) -> str:
+        """The canonical SQL text (the plan-cache key)."""
+        return self.compiled.text
+
+    def plan_for(
+        self,
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+    ) -> ExecutionPlan:
+        """The execution plan for one cell (inspectable: ``.lane`` etc.)."""
+        plan = self._context.plan(
+            self._planner,
+            self.compiled,
+            coerce_mapping_semantics(mapping_semantics),
+            coerce_aggregate_semantics(aggregate_semantics),
+        )
+        if plan.uses_prepared_tuples:
+            self.compiled.materialize()
+        return plan
+
+    def answer(
+        self,
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+        *,
+        samples: int | None = None,
+        seed: int | None = None,
+        max_sequences: int | None = None,
+    ) -> AggregateAnswer:
+        """Answer one semantics cell, amortizing compilation and planning."""
+        self._context.ensure_open()
+        return self.plan_for(mapping_semantics, aggregate_semantics).answer(
+            samples=samples, seed=seed, max_sequences=max_sequences
+        )
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self.text!r})"
+
+
+# -- plan execution --------------------------------------------------------
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    *,
+    samples: int | None = None,
+    seed: int | None = None,
+    max_sequences: int | None = None,
+) -> AggregateAnswer:
+    """Run a plan: dispatch on its lane, falling back where the lane allows."""
+    context = plan.context
+    context.ensure_open()
+    lane = plan.lane
+    if lane == Lane.BY_TABLE:
+        results = [
+            (context.executor(reformulated), probability)
+            for reformulated, probability in plan.compiled.reformulations()
+        ]
+        return bytable.combine_results(results, plan.aggregate_semantics)
+    if lane == Lane.VECTORIZED:
+        answer = _try_vectorized(plan)
+        if answer is not None:
+            return answer
+        return execute_plan(
+            plan.fallback,
+            samples=samples,
+            seed=seed,
+            max_sequences=max_sequences,
+        )
+    if lane in (Lane.SCALAR, Lane.EXTENSION):
+        return run_prepared(plan.compiled.prepared(), plan.spec.kernel)
+    if lane == Lane.NESTED_RANGE:
+        return _execute_nested_range(plan)
+    if lane == Lane.NESTED_COMPOSE:
+        answer = _compose_nested(plan)
+        if answer is not None:
+            return answer
+        if plan.fallback is not None:
+            return execute_plan(
+                plan.fallback,
+                samples=samples,
+                seed=seed,
+                max_sequences=max_sequences,
+            )
+        raise IntractableError(
+            "nested by-tuple queries under the distribution/expected value "
+            "semantics require allow_exponential=True or allow_sampling=True"
+        )
+    if lane in (Lane.NAIVE, Lane.SAMPLING):
+        return plan.spec.run(_request(plan, samples, seed, max_sequences))
+    raise EvaluationError(f"unknown execution lane {lane!r}")
+
+
+def _request(
+    plan: ExecutionPlan,
+    samples: int | None,
+    seed: int | None,
+    max_sequences: int | None,
+) -> EvaluationRequest:
+    context = plan.context
+    compiled = plan.compiled
+    prepared = None
+    if not compiled.is_nested and compiled.query.group_by is None:
+        prepared = compiled.prepared_or_none()
+    return EvaluationRequest(
+        compiled.table,
+        compiled.pmapping,
+        compiled.query,
+        context.executor,
+        samples=context.samples if samples is None else samples,
+        seed=context.seed if seed is None else seed,
+        max_sequences=(
+            context.max_sequences if max_sequences is None else max_sequences
+        ),
+        prepared=prepared,
+    )
+
+
+def _try_vectorized(plan: ExecutionPlan) -> AggregateAnswer | None:
+    """The numpy lane, or ``None`` when the query/data falls outside it."""
+    from repro.core import vectorized
+
+    compiled = plan.compiled
+    cell = (compiled.query.aggregate.op, plan.aggregate_semantics)
+    scalar_vectorized = vectorized.VECTORIZED_CELLS.get(cell)
+    if scalar_vectorized is None:
+        return None
+    name = compiled.pmapping.source.name
+    try:
+        columnar = plan.context.columnar_cache.get(name)
+        if columnar is None:
+            columnar = vectorized.ColumnarTable(compiled.table)
+            plan.context.columnar_cache[name] = columnar
+        return vectorized.run_grouped_vectorized(
+            columnar, compiled.pmapping, compiled.query, scalar_vectorized
+        )
+    except vectorized.VectorizationError:
+        return None
+
+
+def _execute_nested_range(plan: ExecutionPlan) -> RangeAnswer:
+    """Per-group range composition for the nested by-tuple/range cell.
+
+    Groups partition the tuples, mapping choices are independent across
+    groups, and the outer aggregate is monotone in each group value, so the
+    outer bounds are the outer aggregate of the per-group bounds (exact
+    whenever every group is defined in every world; groups whose inner
+    aggregate can be undefined are dropped — a documented soundness caveat).
+    """
+    query = plan.compiled.query
+    if query.aggregate.distinct:
+        raise UnsupportedQueryError(
+            "DISTINCT on the outer aggregate of a nested by-tuple range "
+            "query is not supported"
+        )
+    inner_answer = execute_plan(plan.inner_plan)
+    if isinstance(inner_answer, GroupedAnswer):
+        ranges = [r for _, r in inner_answer]
+    else:
+        ranges = [inner_answer]
+    defined = [r for r in ranges if isinstance(r, RangeAnswer) and r.is_defined]
+    if not defined:
+        return RangeAnswer(None, None)
+    low = apply_aggregate(query.aggregate.op, [r.low for r in defined])
+    high = apply_aggregate(query.aggregate.op, [r.high for r in defined])
+    return RangeAnswer(low, high)
+
+
+def _compose_nested(plan: ExecutionPlan) -> AggregateAnswer | None:
+    """Exact nested distribution/expected value via independent composition.
+
+    Beyond the paper (its Section VII future work): interpret the inner
+    per-group results as independent random variables and compose them
+    exactly.  Returns ``None`` (fall back) when the inner operator has no
+    exact polynomial distribution, a group can be undefined in some world,
+    or the composed support would explode.
+    """
+    from repro.core import extensions, nested
+    from repro.core.bytuple_count import distribution_count_kernel
+
+    query = plan.compiled.query
+    inner = plan.compiled.inner
+    if query.aggregate.distinct:
+        return None
+    inner_op = inner.query.aggregate.op
+    try:
+        if inner_op is AggregateOp.COUNT:
+            inner_kernel = distribution_count_kernel
+        elif inner_op is AggregateOp.MAX:
+            inner_kernel = extensions.max_distribution_kernel
+        elif inner_op is AggregateOp.MIN:
+            inner_kernel = extensions.min_distribution_kernel
+        else:
+            return None  # inner SUM/AVG: no exact polynomial route
+        inner_answer = run_prepared(inner.prepared(), inner_kernel)
+        if isinstance(inner_answer, GroupedAnswer):
+            group_answers = [answer for _, answer in inner_answer]
+        else:
+            group_answers = [inner_answer]
+        distributions = []
+        for answer in group_answers:
+            assert isinstance(answer, DistributionAnswer)
+            if not answer.is_defined or answer.undefined_probability > 1e-12:
+                return None  # world-dependent group set: fall back
+            distributions.append(answer.distribution)
+        outer_op = query.aggregate.op
+        if plan.aggregate_semantics is AggregateSemantics.EXPECTED_VALUE:
+            # Linearity of expectation avoids the convolution (whose
+            # support can explode) for the additive outer operators.
+            if outer_op is AggregateOp.SUM:
+                return ExpectedValueAnswer(
+                    math.fsum(d.expected_value() for d in distributions)
+                )
+            if outer_op is AggregateOp.AVG:
+                return ExpectedValueAnswer(
+                    math.fsum(d.expected_value() for d in distributions)
+                    / len(distributions)
+                )
+        distribution = nested.compose_independent(outer_op, distributions)
+    except EvaluationError:
+        return None  # support blow-up or similar: fall back
+    answer = DistributionAnswer(distribution)
+    if plan.aggregate_semantics is AggregateSemantics.DISTRIBUTION:
+        return answer
+    return answer.to_expected_value()

@@ -24,11 +24,7 @@ from __future__ import annotations
 import bisect
 import math
 
-from repro.core.answers import (
-    AggregateAnswer,
-    DistributionAnswer,
-    GroupedAnswer,
-)
+from repro.core.answers import AggregateAnswer, DistributionAnswer
 from repro.core.common import PreparedTupleQuery, run_possibly_grouped
 from repro.core.semantics import AggregateSemantics
 from repro.exceptions import EvaluationError
@@ -121,26 +117,45 @@ def _extreme_distribution(
     return DistributionAnswer(distribution, undefined_probability=undefined)
 
 
+def max_distribution_kernel(prepared: PreparedTupleQuery) -> DistributionAnswer:
+    """Exact by-tuple MAX distribution over one prepared problem."""
+    return _extreme_distribution(prepared, maximize=True)
+
+
+def min_distribution_kernel(prepared: PreparedTupleQuery) -> DistributionAnswer:
+    """Exact by-tuple MIN distribution over one prepared problem."""
+    return _extreme_distribution(prepared, maximize=False)
+
+
+def extreme_kernel(
+    prepared: PreparedTupleQuery,
+    semantics: AggregateSemantics,
+    *,
+    maximize: bool,
+) -> AggregateAnswer:
+    """The extension's MIN/MAX answer, projected to one aggregate semantics."""
+    dist = _extreme_distribution(prepared, maximize=maximize)
+    if semantics is AggregateSemantics.DISTRIBUTION:
+        return dist
+    if semantics is AggregateSemantics.RANGE:
+        return dist.to_range()
+    if semantics is AggregateSemantics.EXPECTED_VALUE:
+        return dist.to_expected_value()
+    raise EvaluationError(f"unknown aggregate semantics {semantics!r}")
+
+
 def by_tuple_distribution_max(
     table: Table, pmapping: PMapping, query: AggregateQuery
 ) -> AggregateAnswer:
     """Exact by-tuple distribution of MAX (extension; see module docstring)."""
-
-    def scalar(prepared: PreparedTupleQuery) -> DistributionAnswer:
-        return _extreme_distribution(prepared, maximize=True)
-
-    return run_possibly_grouped(table, pmapping, query, scalar)
+    return run_possibly_grouped(table, pmapping, query, max_distribution_kernel)
 
 
 def by_tuple_distribution_min(
     table: Table, pmapping: PMapping, query: AggregateQuery
 ) -> AggregateAnswer:
     """Exact by-tuple distribution of MIN (extension; see module docstring)."""
-
-    def scalar(prepared: PreparedTupleQuery) -> DistributionAnswer:
-        return _extreme_distribution(prepared, maximize=False)
-
-    return run_possibly_grouped(table, pmapping, query, scalar)
+    return run_possibly_grouped(table, pmapping, query, min_distribution_kernel)
 
 
 def by_tuple_extreme_answer(
@@ -152,19 +167,9 @@ def by_tuple_extreme_answer(
     maximize: bool,
 ) -> AggregateAnswer:
     """By-tuple MIN/MAX under any aggregate semantics via the extension."""
-    compute = by_tuple_distribution_max if maximize else by_tuple_distribution_min
-    answer = compute(table, pmapping, query)
-
-    def project(dist: DistributionAnswer) -> AggregateAnswer:
-        if semantics is AggregateSemantics.DISTRIBUTION:
-            return dist
-        if semantics is AggregateSemantics.RANGE:
-            return dist.to_range()
-        if semantics is AggregateSemantics.EXPECTED_VALUE:
-            return dist.to_expected_value()
-        raise EvaluationError(f"unknown aggregate semantics {semantics!r}")
-
-    if isinstance(answer, GroupedAnswer):
-        return GroupedAnswer({key: project(value) for key, value in answer})
-    assert isinstance(answer, DistributionAnswer)
-    return project(answer)
+    return run_possibly_grouped(
+        table,
+        pmapping,
+        query,
+        lambda prepared: extreme_kernel(prepared, semantics, maximize=maximize),
+    )

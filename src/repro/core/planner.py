@@ -14,6 +14,14 @@ knows each cell's complexity class:
 For the open cells the planner offers the naive exponential enumeration,
 Monte-Carlo sampling, and — for MIN/MAX — the exact polynomial extension
 of :mod:`repro.core.extensions` (disabled in strict paper-faithful mode).
+
+The planner is also the single owner of *execution-lane* dispatch:
+:meth:`Planner.plan` binds a :class:`~repro.core.compile.CompiledQuery` and
+a cell to an :class:`ExecutionPlan` recording the chosen :class:`Lane`
+(by-table, scalar, vectorized, extension, nested composition, naive,
+sampling), the cell's Figure 6 complexity, and the fallback chain —
+stage 2 of the compile/plan/execute pipeline (see
+:mod:`repro.core.compile` and :mod:`repro.core.execute`).
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from collections.abc import Callable
 from repro.core import bytable, bytuple_avg, bytuple_count, bytuple_minmax, bytuple_sum
 from repro.core import extensions, naive, sampling
 from repro.core.answers import AggregateAnswer
+from repro.core.common import PreparedTupleQuery
 from repro.core.semantics import AggregateSemantics, MappingSemantics
 from repro.exceptions import EvaluationError, IntractableError
 from repro.schema.mapping import PMapping
@@ -35,6 +44,23 @@ class Complexity:
 
     PTIME = "PTIME"
     OPEN = "?"  # the paper's notation for "no PTIME algorithm known"
+
+
+class Lane:
+    """Execution-lane labels recorded on an :class:`ExecutionPlan`.
+
+    Every way this library can evaluate a cell is one of these lanes, and
+    lane selection happens in exactly one place: :meth:`Planner.plan`.
+    """
+
+    BY_TABLE = "by-table"  # Figure 1 over the certain-query executor
+    SCALAR = "scalar"  # pure-Python PTIME by-tuple kernel
+    VECTORIZED = "vectorized"  # numpy kernel, scalar fallback at run time
+    EXTENSION = "extension"  # exact MIN/MAX distributions beyond the paper
+    NESTED_RANGE = "nested-range"  # per-group range composition (Q2 shape)
+    NESTED_COMPOSE = "nested-compose"  # independent-distribution composition
+    NAIVE = "naive"  # exponential sequence enumeration
+    SAMPLING = "sampling"  # Monte-Carlo estimation
 
 
 #: Cell key: (aggregate operator, mapping semantics, aggregate semantics).
@@ -93,7 +119,10 @@ class EvaluationRequest:
 
     ``executor`` answers certain (reformulated) queries for the by-table
     path — see :func:`repro.core.bytable.memory_executor` /
-    :func:`repro.core.bytable.sqlite_executor`.
+    :func:`repro.core.bytable.sqlite_executor`.  ``prepared`` optionally
+    carries an already-compiled (possibly materialized)
+    :class:`~repro.core.common.PreparedTupleQuery` so the sampling
+    estimator can skip re-preparing the query.
     """
 
     def __init__(
@@ -106,6 +135,7 @@ class EvaluationRequest:
         samples: int = sampling.DEFAULT_SAMPLES,
         seed: int | None = None,
         max_sequences: int = naive.DEFAULT_MAX_SEQUENCES,
+        prepared: PreparedTupleQuery | None = None,
     ) -> None:
         self.table = table
         self.pmapping = pmapping
@@ -114,12 +144,26 @@ class EvaluationRequest:
         self.samples = samples
         self.seed = seed
         self.max_sequences = max_sequences
+        self.prepared = prepared
 
 
 class AlgorithmSpec:
-    """A named algorithm bound to a semantics cell."""
+    """A named algorithm bound to a semantics cell.
 
-    __slots__ = ("name", "complexity", "exact", "run", "paper_reference")
+    ``run`` answers a full :class:`EvaluationRequest` (table + p-mapping +
+    query) — the standalone entry point.  ``kernel``, when set, is the same
+    algorithm as a fold over one already-prepared (ungrouped)
+    :class:`~repro.core.common.PreparedTupleQuery`; the execute stage uses
+    it through :func:`repro.core.common.run_prepared` so repeated
+    executions share the compiled predicates and pinned contribution
+    vectors.  ``lane`` is the :class:`Lane` this algorithm naturally runs
+    in.
+    """
+
+    __slots__ = (
+        "name", "complexity", "exact", "run", "paper_reference", "kernel",
+        "lane",
+    )
 
     def __init__(
         self,
@@ -129,12 +173,16 @@ class AlgorithmSpec:
         *,
         exact: bool = True,
         paper_reference: str = "",
+        kernel: Callable[[PreparedTupleQuery], AggregateAnswer] | None = None,
+        lane: str = Lane.SCALAR,
     ) -> None:
         self.name = name
         self.complexity = complexity
         self.run = run
         self.exact = exact
         self.paper_reference = paper_reference
+        self.kernel = kernel
+        self.lane = lane
 
     def __repr__(self) -> str:
         kind = "exact" if self.exact else "approximate"
@@ -152,6 +200,7 @@ def _by_table_spec(aggregate_semantics: AggregateSemantics) -> AlgorithmSpec:
         Complexity.PTIME,
         run,
         paper_reference="Figure 1",
+        lane=Lane.BY_TABLE,
     )
 
 
@@ -170,6 +219,7 @@ def _naive_spec(aggregate_semantics: AggregateSemantics) -> AlgorithmSpec:
         Complexity.OPEN,
         run,
         paper_reference="Section IV-B (generic algorithm)",
+        lane=Lane.NAIVE,
     )
 
 
@@ -182,6 +232,7 @@ def _sampling_spec(aggregate_semantics: AggregateSemantics) -> AlgorithmSpec:
             aggregate_semantics,
             samples=request.samples,
             seed=request.seed,
+            prepared=request.prepared,
         )
 
     return AlgorithmSpec(
@@ -190,6 +241,7 @@ def _sampling_spec(aggregate_semantics: AggregateSemantics) -> AlgorithmSpec:
         run,
         exact=False,
         paper_reference="Section VII (future work)",
+        lane=Lane.SAMPLING,
     )
 
 
@@ -197,34 +249,55 @@ _PTIME_BY_TUPLE: dict[tuple[AggregateOp, AggregateSemantics], AlgorithmSpec] = {
 
 
 def _register_ptime_by_tuple() -> None:
-    def spec(name, fn, reference):
+    def spec(name, fn, reference, kernel):
         def run(request: EvaluationRequest) -> AggregateAnswer:
             return fn(request.table, request.pmapping, request.query)
 
-        return AlgorithmSpec(name, Complexity.PTIME, run, paper_reference=reference)
+        return AlgorithmSpec(
+            name, Complexity.PTIME, run, paper_reference=reference, kernel=kernel
+        )
 
     _PTIME_BY_TUPLE[(AggregateOp.COUNT, AggregateSemantics.RANGE)] = spec(
-        "ByTupleRangeCOUNT", bytuple_count.by_tuple_range_count, "Figure 2"
+        "ByTupleRangeCOUNT",
+        bytuple_count.by_tuple_range_count,
+        "Figure 2",
+        bytuple_count.range_count_kernel,
     )
     _PTIME_BY_TUPLE[(AggregateOp.COUNT, AggregateSemantics.DISTRIBUTION)] = spec(
-        "ByTuplePDCOUNT", bytuple_count.by_tuple_distribution_count, "Figure 3"
+        "ByTuplePDCOUNT",
+        bytuple_count.by_tuple_distribution_count,
+        "Figure 3",
+        bytuple_count.distribution_count_kernel,
     )
     _PTIME_BY_TUPLE[(AggregateOp.COUNT, AggregateSemantics.EXPECTED_VALUE)] = spec(
         "ByTupleExpValCOUNT",
         bytuple_count.by_tuple_expected_count,
         "Section IV-B (from Figure 3)",
+        bytuple_count.expected_count_kernel,
     )
     _PTIME_BY_TUPLE[(AggregateOp.SUM, AggregateSemantics.RANGE)] = spec(
-        "ByTupleRangeSUM", bytuple_sum.by_tuple_range_sum, "Figure 4"
+        "ByTupleRangeSUM",
+        bytuple_sum.by_tuple_range_sum,
+        "Figure 4",
+        bytuple_sum.range_sum_kernel,
     )
     _PTIME_BY_TUPLE[(AggregateOp.AVG, AggregateSemantics.RANGE)] = spec(
-        "ByTupleRangeAVG", bytuple_avg.by_tuple_range_avg, "Section IV-B"
+        "ByTupleRangeAVG",
+        bytuple_avg.by_tuple_range_avg,
+        "Section IV-B",
+        bytuple_avg.range_avg_kernel,
     )
     _PTIME_BY_TUPLE[(AggregateOp.MAX, AggregateSemantics.RANGE)] = spec(
-        "ByTupleRangeMAX", bytuple_minmax.by_tuple_range_max, "Figure 5"
+        "ByTupleRangeMAX",
+        bytuple_minmax.by_tuple_range_max,
+        "Figure 5",
+        bytuple_minmax.range_max_kernel,
     )
     _PTIME_BY_TUPLE[(AggregateOp.MIN, AggregateSemantics.RANGE)] = spec(
-        "ByTupleRangeMIN", bytuple_minmax.by_tuple_range_min, "Section IV-B"
+        "ByTupleRangeMIN",
+        bytuple_minmax.by_tuple_range_min,
+        "Section IV-B",
+        bytuple_minmax.range_min_kernel,
     )
 
 
@@ -245,6 +318,7 @@ def _expected_sum_spec() -> AlgorithmSpec:
         Complexity.PTIME,
         run,
         paper_reference="Theorem 4 (conditional-exact linear form)",
+        kernel=bytuple_sum.expected_sum_kernel,
     )
 
 
@@ -260,12 +334,103 @@ def _extension_minmax_spec(
             maximize=op is AggregateOp.MAX,
         )
 
+    def kernel(prepared):
+        return extensions.extreme_kernel(
+            prepared, aggregate_semantics, maximize=op is AggregateOp.MAX
+        )
+
     return AlgorithmSpec(
         f"ByTupleExact{op.value}Distribution",
         Complexity.PTIME,
         run,
         paper_reference="extension beyond the paper (order statistics)",
+        kernel=kernel,
+        lane=Lane.EXTENSION,
     )
+
+
+class ExecutionPlan:
+    """A compiled query bound to one semantics cell, lane, and engine state.
+
+    Produced by :meth:`Planner.plan` (stage 2 of the pipeline) and run by
+    :func:`repro.core.execute.execute_plan` (stage 3).  ``lane`` is the
+    chosen :class:`Lane`; ``fallback`` is the plan to run when a
+    conditional lane declines at run time (vectorization outside the numpy
+    fragment, nested composition outside the exact-polynomial fragment);
+    ``inner_plan`` is the plan for the flat inner query of a nested shape.
+    """
+
+    __slots__ = (
+        "compiled", "mapping_semantics", "aggregate_semantics", "lane",
+        "complexity", "spec", "fallback", "inner_plan", "context",
+    )
+
+    def __init__(
+        self,
+        compiled,
+        mapping_semantics: MappingSemantics,
+        aggregate_semantics: AggregateSemantics,
+        lane: str,
+        complexity: str,
+        spec: AlgorithmSpec | None,
+        *,
+        fallback: "ExecutionPlan | None" = None,
+        inner_plan: "ExecutionPlan | None" = None,
+        context=None,
+    ) -> None:
+        self.compiled = compiled
+        self.mapping_semantics = mapping_semantics
+        self.aggregate_semantics = aggregate_semantics
+        self.lane = lane
+        self.complexity = complexity
+        self.spec = spec
+        self.fallback = fallback
+        self.inner_plan = inner_plan
+        self.context = context
+
+    @property
+    def fallback_chain(self) -> list[str]:
+        """The lanes this plan can run through, first choice first."""
+        chain = [self.lane]
+        plan = self.fallback
+        while plan is not None:
+            chain.append(plan.lane)
+            plan = plan.fallback
+        return chain
+
+    @property
+    def uses_prepared_tuples(self) -> bool:
+        """True when executing folds the compiled contribution vectors."""
+        return self.lane in (
+            Lane.SCALAR,
+            Lane.EXTENSION,
+            Lane.NESTED_RANGE,
+            Lane.NESTED_COMPOSE,
+            Lane.SAMPLING,
+        )
+
+    def answer(
+        self,
+        *,
+        samples: int | None = None,
+        seed: int | None = None,
+        max_sequences: int | None = None,
+    ) -> AggregateAnswer:
+        """Execute the plan (stage 3); overrides apply to this call only."""
+        from repro.core.execute import execute_plan
+
+        return execute_plan(
+            self, samples=samples, seed=seed, max_sequences=max_sequences
+        )
+
+    def __repr__(self) -> str:
+        name = self.spec.name if self.spec is not None else self.lane
+        return (
+            f"ExecutionPlan({name}, lane={self.lane}, "
+            f"cell=({self.compiled.query.aggregate.op.value}, "
+            f"{self.mapping_semantics.value}, "
+            f"{self.aggregate_semantics.value}), {self.complexity})"
+        )
 
 
 class Planner:
@@ -328,6 +493,147 @@ class Planner:
             f"{mapping_semantics.value}/{aggregate_semantics.value} semantics "
             "(paper Figure 6); retry with allow_exponential=True, "
             "allow_sampling=True, or use_extensions=True (MIN/MAX only)"
+        )
+
+    def plan(
+        self,
+        compiled,
+        mapping_semantics: MappingSemantics,
+        aggregate_semantics: AggregateSemantics,
+        context,
+    ) -> ExecutionPlan:
+        """Bind a compiled query and a cell to an execution lane.
+
+        The single place lane selection happens.  ``context`` is the
+        engine's :class:`~repro.core.execute.ExecutionContext`; its
+        ``vectorize`` flag gates the numpy lane.
+
+        Raises
+        ------
+        IntractableError
+            For an open cell when the planner's policy forbids every
+            applicable route, with the same messages as
+            :meth:`algorithm_for`.
+        """
+        op = compiled.query.aggregate.op
+        complexity = self.complexity_of(
+            op, mapping_semantics, aggregate_semantics
+        )
+        if mapping_semantics is MappingSemantics.BY_TABLE:
+            return ExecutionPlan(
+                compiled,
+                mapping_semantics,
+                aggregate_semantics,
+                Lane.BY_TABLE,
+                complexity,
+                _by_table_spec(aggregate_semantics),
+                context=context,
+            )
+        if compiled.is_nested:
+            return self._plan_nested(
+                compiled, aggregate_semantics, complexity, context
+            )
+        spec = self.algorithm_for(
+            op, mapping_semantics, aggregate_semantics
+        )
+        base = ExecutionPlan(
+            compiled,
+            mapping_semantics,
+            aggregate_semantics,
+            spec.lane,
+            complexity,
+            spec,
+            context=context,
+        )
+        if context is not None and context.vectorize:
+            from repro.core import vectorized
+
+            if (op, aggregate_semantics) in vectorized.VECTORIZED_CELLS:
+                return ExecutionPlan(
+                    compiled,
+                    mapping_semantics,
+                    aggregate_semantics,
+                    Lane.VECTORIZED,
+                    complexity,
+                    spec,
+                    fallback=base,
+                    context=context,
+                )
+        return base
+
+    def _plan_nested(
+        self,
+        compiled,
+        aggregate_semantics: AggregateSemantics,
+        complexity: str,
+        context,
+    ) -> ExecutionPlan:
+        """By-tuple lanes for the nested (subquery-in-FROM) shape.
+
+        Range composes per-group ranges exactly; distribution/expected
+        value go through the independent-distribution composition when
+        extensions are enabled, then the naive or sampling fallback.  The
+        inner query always runs its scalar lane (its answers feed a
+        composition, not the user).
+        """
+        if aggregate_semantics is AggregateSemantics.RANGE:
+            inner_spec = self.algorithm_for(
+                compiled.inner.query.aggregate.op,
+                MappingSemantics.BY_TUPLE,
+                AggregateSemantics.RANGE,
+            )
+            inner_plan = ExecutionPlan(
+                compiled.inner,
+                MappingSemantics.BY_TUPLE,
+                AggregateSemantics.RANGE,
+                inner_spec.lane,
+                inner_spec.complexity,
+                inner_spec,
+                context=context,
+            )
+            return ExecutionPlan(
+                compiled,
+                MappingSemantics.BY_TUPLE,
+                aggregate_semantics,
+                Lane.NESTED_RANGE,
+                complexity,
+                None,
+                inner_plan=inner_plan,
+                context=context,
+            )
+        fallback: ExecutionPlan | None = None
+        if self.allow_exponential:
+            fallback_spec: AlgorithmSpec | None = _naive_spec(aggregate_semantics)
+        elif self.allow_sampling:
+            fallback_spec = _sampling_spec(aggregate_semantics)
+        else:
+            fallback_spec = None
+        if fallback_spec is not None:
+            fallback = ExecutionPlan(
+                compiled,
+                MappingSemantics.BY_TUPLE,
+                aggregate_semantics,
+                fallback_spec.lane,
+                complexity,
+                fallback_spec,
+                context=context,
+            )
+        if self.use_extensions:
+            return ExecutionPlan(
+                compiled,
+                MappingSemantics.BY_TUPLE,
+                aggregate_semantics,
+                Lane.NESTED_COMPOSE,
+                complexity,
+                None,
+                fallback=fallback,
+                context=context,
+            )
+        if fallback is not None:
+            return fallback
+        raise IntractableError(
+            "nested by-tuple queries under the distribution/expected value "
+            "semantics require allow_exponential=True or allow_sampling=True"
         )
 
     def complexity_of(

@@ -172,8 +172,14 @@ def sample_by_tuple(
     *,
     samples: int = DEFAULT_SAMPLES,
     seed: int | None = None,
+    prepared: PreparedTupleQuery | None = None,
 ) -> AggregateAnswer:
     """Estimate a by-tuple answer by sampling mapping sequences.
+
+    ``prepared`` optionally reuses an already-compiled (possibly
+    materialized) :class:`PreparedTupleQuery` for the flat path, skipping
+    predicate compilation; it must have been built from the same
+    ``(table, pmapping, query)`` triple.
 
     Note that under the *range* semantics the estimate is the range of the
     sampled worlds, a subset of the true range; prefer the exact PTIME
@@ -184,7 +190,9 @@ def sample_by_tuple(
     rng = random.Random(seed)
     if isinstance(query.source, SubquerySource) or query.group_by is not None:
         return _sample_worlds(table, pmapping, query, semantics, samples, rng)
-    return _sample_flat(table, pmapping, query, semantics, samples, rng)
+    return _sample_flat(
+        table, pmapping, query, semantics, samples, rng, prepared=prepared
+    )
 
 
 def _sample_flat(
@@ -194,8 +202,11 @@ def _sample_flat(
     semantics: AggregateSemantics,
     samples: int,
     rng: random.Random,
+    *,
+    prepared: PreparedTupleQuery | None = None,
 ) -> AggregateAnswer:
-    prepared = PreparedTupleQuery(table, pmapping, query)
+    if prepared is None:
+        prepared = PreparedTupleQuery(table, pmapping, query)
     vectors = list(prepared.contribution_vectors())
     cumulative = list(itertools.accumulate(prepared.probabilities))
     outcomes: dict[float, int] = {}

@@ -14,9 +14,16 @@ from __future__ import annotations
 
 import enum
 
+from repro.exceptions import EvaluationError
 from repro.sql.ast import AggregateOp
 
-__all__ = ["AggregateOp", "AggregateSemantics", "MappingSemantics"]
+__all__ = [
+    "AggregateOp",
+    "AggregateSemantics",
+    "MappingSemantics",
+    "coerce_aggregate_semantics",
+    "coerce_mapping_semantics",
+]
 
 
 class MappingSemantics(enum.Enum):
@@ -32,3 +39,32 @@ class AggregateSemantics(enum.Enum):
     RANGE = "range"
     DISTRIBUTION = "distribution"
     EXPECTED_VALUE = "expected-value"
+
+
+def coerce_mapping_semantics(value: MappingSemantics | str) -> MappingSemantics:
+    """Accept the enum or its string value (``"by-table"``/``"by-tuple"``)."""
+    if isinstance(value, MappingSemantics):
+        return value
+    try:
+        return MappingSemantics(value)
+    except ValueError:
+        choices = ", ".join(s.value for s in MappingSemantics)
+        raise EvaluationError(
+            f"unknown mapping semantics {value!r} (choices: {choices})"
+        ) from None
+
+
+def coerce_aggregate_semantics(
+    value: AggregateSemantics | str,
+) -> AggregateSemantics:
+    """Accept the enum or its string value (``"range"``/``"distribution"``/
+    ``"expected-value"``)."""
+    if isinstance(value, AggregateSemantics):
+        return value
+    try:
+        return AggregateSemantics(value)
+    except ValueError:
+        choices = ", ".join(s.value for s in AggregateSemantics)
+        raise EvaluationError(
+            f"unknown aggregate semantics {value!r} (choices: {choices})"
+        ) from None

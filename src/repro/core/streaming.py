@@ -44,7 +44,7 @@ from repro.core.answers import (
 )
 from repro.core.bytuple_avg import _greedy_extreme_mean
 from repro.core.bytuple_count import count_distribution_dp
-from repro.core.common import PreparedTupleQuery
+from repro.core.compile import CompiledQuery
 from repro.exceptions import UnsupportedQueryError
 from repro.schema.mapping import PMapping
 from repro.schema.model import Relation
@@ -55,22 +55,42 @@ from repro.storage.table import Table
 class TupleStream:
     """Compiles a query/p-mapping pair into a per-row vectorizer.
 
-    Reuses :class:`~repro.core.common.PreparedTupleQuery`'s compiled
-    predicates over an empty table, so a stream costs the same compilation
-    work as a materialized run.
+    Built on the pipeline's :class:`~repro.core.compile.CompiledQuery`
+    (over an empty table, since the rows arrive as a stream), so a stream
+    shares the same per-mapping compiled predicates as a materialized run
+    — and :meth:`from_compiled` reuses an engine's compiled query
+    outright, paying no compilation at all.
     """
 
     def __init__(
-        self, relation: Relation, pmapping: PMapping, query: AggregateQuery
+        self,
+        relation: Relation,
+        pmapping: PMapping,
+        query: AggregateQuery,
+        *,
+        compiled: CompiledQuery | None = None,
     ) -> None:
         if query.group_by is not None:
             raise UnsupportedQueryError(
                 "wrap a grouped stream in GroupedAccumulator instead"
             )
-        self._prepared = PreparedTupleQuery(
-            Table.from_prepared_rows(relation, []), pmapping, query
-        )
+        if compiled is None:
+            compiled = CompiledQuery(
+                query, Table.from_prepared_rows(relation, []), pmapping
+            )
+        self.compiled = compiled
+        self._prepared = compiled.prepared()
         self.mapping_count = len(pmapping)
+
+    @classmethod
+    def from_compiled(cls, compiled: CompiledQuery) -> "TupleStream":
+        """A stream reusing an already-compiled query (e.g. the engine's)."""
+        return cls(
+            compiled.table.relation,
+            compiled.pmapping,
+            compiled.query,
+            compiled=compiled,
+        )
 
     @property
     def probabilities(self) -> list[float]:

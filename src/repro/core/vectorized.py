@@ -26,6 +26,7 @@ from repro.core.answers import (
     ExpectedValueAnswer,
     RangeAnswer,
 )
+from repro.core.semantics import AggregateSemantics
 from repro.exceptions import ReproError, UnsupportedQueryError
 from repro.prob.distribution import DiscreteDistribution
 from repro.schema.mapping import PMapping
@@ -336,7 +337,13 @@ def occurrence_probabilities_vec(
     """Per-tuple participation probabilities (the Figure 3 DP input)."""
     problem = VectorizedProblem(ctable, pmapping, query)
     participation = problem.participation_matrix()
-    return problem.probabilities @ participation
+    occurrence = problem.probabilities @ participation
+    # A tuple participating under every mapping is sure (Definition 2: the
+    # candidate probabilities form a distribution); pin it to exactly 1.0 so
+    # the dot product's rounding cannot leak an impossible outcome (e.g. a
+    # 1e-16 P(count=0)) into the DP support, matching the scalar kernels.
+    occurrence[participation.all(axis=0)] = 1.0
+    return occurrence
 
 
 def by_tuple_distribution_count_vec(
@@ -576,3 +583,23 @@ def run_grouped_vectorized(
             scalar_vectorized(subset, pmapping, flat)
         )
     return GroupedAnswer(answers)
+
+
+#: The flat by-tuple cells with a vectorized implementation, keyed by
+#: ``(aggregate operator, aggregate semantics)``.  The planner consults this
+#: registry when an engine enables ``vectorize=True``; cells outside it (and
+#: queries/data outside the vectorizable fragment, which raise
+#: :class:`VectorizationError` at run time) fall back to the scalar lane.
+VECTORIZED_CELLS = {
+    (AggregateOp.COUNT, AggregateSemantics.RANGE): by_tuple_range_count_vec,
+    (AggregateOp.COUNT, AggregateSemantics.DISTRIBUTION):
+        by_tuple_distribution_count_vec,
+    (AggregateOp.COUNT, AggregateSemantics.EXPECTED_VALUE):
+        by_tuple_expected_count_vec,
+    (AggregateOp.SUM, AggregateSemantics.RANGE): by_tuple_range_sum_vec,
+    (AggregateOp.SUM, AggregateSemantics.EXPECTED_VALUE):
+        by_tuple_expected_sum_vec,
+    (AggregateOp.AVG, AggregateSemantics.RANGE): by_tuple_range_avg_vec,
+    (AggregateOp.MIN, AggregateSemantics.RANGE): by_tuple_range_min_vec,
+    (AggregateOp.MAX, AggregateSemantics.RANGE): by_tuple_range_max_vec,
+}

@@ -61,6 +61,15 @@ class EvaluationError(ReproError):
     """
 
 
+class EngineClosedError(EvaluationError, StorageError):
+    """An operation was attempted on an engine whose backend was closed.
+
+    Both an evaluation failure (the engine can no longer answer) and a
+    storage failure (the backing database is gone), so handlers catching
+    either — or plain :class:`ReproError` — see it.
+    """
+
+
 class IntractableError(EvaluationError):
     """The requested semantics cell has no PTIME algorithm.
 
