@@ -17,11 +17,10 @@ the two 100-repeat variants register as benchmark cases.
 
 from __future__ import annotations
 
-import time
-
 from repro.core.engine import AggregationEngine
 from repro.core.semantics import AggregateSemantics, MappingSemantics
 from repro.data import synthetic
+from repro.obs.timers import Stopwatch
 from repro.sql.ast import AggregateOp
 
 NUM_TUPLES = 2000
@@ -56,22 +55,22 @@ def _engine(workload: synthetic.Workload) -> AggregationEngine:
 
 def time_oneshot(engine, query, cell, repeats: int) -> float:
     """Total seconds for ``repeats`` independent ``answer()`` calls."""
-    start = time.perf_counter()
-    for _ in range(repeats):
-        engine.answer(query, MappingSemantics.BY_TUPLE, cell)
-    return time.perf_counter() - start
+    with Stopwatch() as watch:
+        for _ in range(repeats):
+            engine.answer(query, MappingSemantics.BY_TUPLE, cell)
+    return watch.elapsed
 
 
 def time_prepared(engine, query, cell, repeats: int) -> float:
     """Total seconds for prepare-once + ``repeats`` plan executions."""
-    start = time.perf_counter()
-    prepared = engine.prepare(query)
-    for _ in range(repeats):
-        prepared.answer(MappingSemantics.BY_TUPLE, cell)
-    return time.perf_counter() - start
+    with Stopwatch() as watch:
+        prepared = engine.prepare(query)
+        for _ in range(repeats):
+            prepared.answer(MappingSemantics.BY_TUPLE, cell)
+    return watch.elapsed
 
 
-def run(check: bool = True) -> bool:
+def run(check: bool = True, json_path: str | None = None) -> bool:
     workload = _workload()
     print(
         f"prepared-plan reuse, {NUM_TUPLES} tuples x {NUM_MAPPINGS} mappings "
@@ -84,6 +83,7 @@ def run(check: bool = True) -> bool:
     print(header)
     print("-" * len(header))
     passed = True
+    rows = []
     for op, cell, gated in CELLS:
         query = workload.query(op)
         for repeats in REPEATS:
@@ -96,9 +96,31 @@ def run(check: bool = True) -> bool:
                 f"{op.value:<12}{cell.value:<16}{repeats:>8}"
                 f"{oneshot:>14.4f}{prepared:>14.4f}{speedup:>8.1f}x{note}"
             )
+            rows.append({
+                "op": op.value,
+                "aggregate_semantics": cell.value,
+                "repeats": repeats,
+                "oneshot_seconds": oneshot,
+                "prepared_seconds": prepared,
+                "speedup": speedup,
+                "gated": gated,
+            })
             if check and gated and repeats == 100 and speedup < 3.0:
                 passed = False
                 print(f"  !! expected >= 3x amortized speedup, got {speedup:.1f}x")
+    if json_path is not None:
+        import json
+        from pathlib import Path
+
+        Path(json_path).write_text(json.dumps({
+            "benchmark": "bench_prepared_reuse",
+            "num_tuples": NUM_TUPLES,
+            "num_attributes": NUM_ATTRIBUTES,
+            "num_mappings": NUM_MAPPINGS,
+            "rows": rows,
+            "passed": passed,
+        }, indent=2) + "\n")
+        print(f"wrote {json_path}")
     return passed
 
 
@@ -127,4 +149,13 @@ def bench_prepared_count_range_100(benchmark):
 
 
 if __name__ == "__main__":
-    raise SystemExit(0 if run() else 1)
+    import argparse
+
+    _parser = argparse.ArgumentParser(description=__doc__)
+    _parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the timing table as JSON (the committed baseline "
+        "is BENCH_prepared_reuse.json)",
+    )
+    _args = _parser.parse_args()
+    raise SystemExit(0 if run(json_path=_args.json) else 1)

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""CI smoke check: ``--explain-analyze`` works for all six semantics cells.
+
+Generates a small synthetic workload, saves it as the CLI's on-disk
+inputs (CSV + JSON p-mapping), and runs ``repro-bench query
+--explain-analyze`` for a COUNT query under every (mapping semantics,
+aggregate semantics) cell — COUNT is PTIME across the whole Figure 6
+row, so all six must execute.  Fails (exit 1) when any invocation
+returns non-zero or prints an empty metrics section.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/explain_analyze_check.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main
+from repro.data import synthetic
+from repro.schema.serialize import save_pmapping
+from repro.sql.ast import AggregateOp
+from repro.storage.csv_io import save_table_csv
+
+CELLS = [
+    (msem, asem)
+    for msem in ("by-table", "by-tuple")
+    for asem in ("range", "distribution", "expected-value")
+]
+
+
+def metrics_lines(output: str) -> list[str]:
+    """The indented metric lines following the ``metrics:`` header."""
+    lines = output.splitlines()
+    try:
+        start = lines.index("metrics:") + 1
+    except ValueError:
+        return []
+    collected = []
+    for line in lines[start:]:
+        if not line.startswith("  "):
+            break
+        collected.append(line.strip())
+    return collected
+
+
+def run() -> int:
+    workload = synthetic.generate_workload(200, 6, 4, seed=0)
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = str(Path(tmp) / "data.csv")
+        map_path = str(Path(tmp) / "mapping.json")
+        save_table_csv(workload.table, csv_path)
+        save_pmapping(workload.pmapping, map_path)
+        query = workload.query(AggregateOp.COUNT)
+        for msem, asem in CELLS:
+            argv = [
+                "query", "--data", csv_path, "--mapping", map_path,
+                "--query", query,
+                "--mapping-semantics", msem,
+                "--aggregate-semantics", asem,
+                "--explain-analyze", "--repeat", "3",
+            ]
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                code = main(argv)
+            output = buffer.getvalue()
+            metrics = metrics_lines(output)
+            label = f"({msem}, {asem})"
+            if code != 0:
+                print(f"FAIL {label}: exit code {code}")
+                print(output)
+                failures += 1
+            elif not metrics:
+                print(f"FAIL {label}: empty metrics section")
+                print(output)
+                failures += 1
+            else:
+                print(f"ok   {label}: {len(metrics)} metric deltas")
+    if failures:
+        print(f"{failures} of {len(CELLS)} cells failed")
+        return 1
+    print(f"all {len(CELLS)} semantics cells explained and analyzed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

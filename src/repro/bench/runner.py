@@ -9,10 +9,10 @@ auctions") without making the harness take ten days.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Iterable, Sequence
 
 from repro.bench.algorithms import BenchContext, get_algorithm
+from repro.obs.timers import time_call
 
 
 class SweepResult:
@@ -66,9 +66,8 @@ class SweepResult:
 
 def time_once(fn: Callable[[], object]) -> float:
     """Wall-clock seconds of a single call."""
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
+    _, seconds = time_call(fn)
+    return seconds
 
 
 def time_best(fn: Callable[[], object], repeats: int) -> float:

@@ -18,15 +18,20 @@ any semantics cell::
     repro-bench query --data listings.csv --mapping mapping.json \\
         --query "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'" \\
         --mapping-semantics by-tuple --aggregate-semantics distribution
+
+``--explain`` prints the execution plan (lane, Figure 6 complexity class,
+fallback chain) without executing; ``--explain-analyze`` executes and
+attaches per-span wall-clock timings and the run's metric deltas (combine
+with ``--repeat N`` to watch the plan cache convert misses into hits).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from repro.bench import experiments
+from repro.obs.timers import Stopwatch
 
 
 def _add_figure(subparsers, name: str, help_text: str):
@@ -197,6 +202,64 @@ def _run_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_plan(plan: dict, indent: int = 0) -> list[str]:
+    """Text rendering of :meth:`ExecutionPlan.to_dict` (the --explain view)."""
+    pad = "  " * indent
+    cell = plan["cell"]
+    lines = [f"{pad}{plan['algorithm'] or plan['lane']}"]
+    lines.append(
+        f"{pad}  cell: ({cell['op']}, {cell['mapping_semantics']}, "
+        f"{cell['aggregate_semantics']})"
+    )
+    lines.append(f"{pad}  lane: {plan['lane']}")
+    lines.append(f"{pad}  complexity: {plan['complexity']}")
+    lines.append(f"{pad}  fallback chain: {' -> '.join(plan['fallback_chain'])}")
+    if plan["paper_reference"]:
+        lines.append(f"{pad}  paper: {plan['paper_reference']}")
+    if plan["fallback"] is not None:
+        lines.append(f"{pad}  fallback:")
+        lines.extend(_render_plan(plan["fallback"], indent + 2))
+    if plan["inner"] is not None:
+        lines.append(f"{pad}  inner:")
+        lines.extend(_render_plan(plan["inner"], indent + 2))
+    return lines
+
+
+def _render_span(span: dict, indent: int = 0) -> list[str]:
+    """Text rendering of one span tree (the --explain-analyze timings)."""
+    pad = "  " * indent
+    detail = ""
+    lane = span["attributes"].get("lane")
+    if lane:
+        detail = f"  [{lane}]"
+    lines = [f"{pad}{span['name']}: {span['seconds'] * 1e3:.3f} ms{detail}"]
+    for child in span["children"]:
+        lines.extend(_render_span(child, indent + 1))
+    return lines
+
+
+def _print_explain_analyze(report: dict) -> None:
+    print("plan:")
+    for line in _render_plan(report["plan"], 1):
+        print(line)
+    print(f"answer: {report['answer']}")
+    print(
+        f"executions: {report['executions']} in {report['seconds']:.4f}s "
+        f"({report['seconds'] / report['executions'] * 1e3:.3f} ms/execution)"
+    )
+    print("spans:")
+    for root in report["spans"]:
+        for line in _render_span(root, 1):
+            print(line)
+    print("metrics:")
+    for name, value in report["metrics"].items():
+        if isinstance(value, dict):
+            rendered = " ".join(f"{k}=+{v:g}" for k, v in value.items())
+            print(f"  {name} {rendered}")
+        else:
+            print(f"  {name} +{value:g}")
+
+
 def _run_query(args: argparse.Namespace) -> int:
     """The ``query`` subcommand: CSV + JSON p-mapping -> printed answer."""
     from repro.core.engine import AggregationEngine
@@ -205,6 +268,13 @@ def _run_query(args: argparse.Namespace) -> int:
     from repro.storage.csv_io import load_table_csv
 
     if args.stream:
+        if args.explain or args.explain_analyze:
+            print(
+                "error: --explain/--explain-analyze require the engine "
+                "pipeline; drop --stream",
+                file=sys.stderr,
+            )
+            return 2
         if args.repeat > 1:
             print(
                 "error: --repeat does not combine with --stream (streaming "
@@ -224,22 +294,41 @@ def _run_query(args: argparse.Namespace) -> int:
             allow_sampling=args.samples is not None,
         )
         with engine:
+            if args.explain:
+                plan = engine.explain(
+                    args.query,
+                    args.mapping_semantics,
+                    args.aggregate_semantics,
+                )
+                for line in _render_plan(plan):
+                    print(line)
+                return 0
+            if args.explain_analyze:
+                report = engine.explain_analyze(
+                    args.query,
+                    args.mapping_semantics,
+                    args.aggregate_semantics,
+                    repeat=args.repeat,
+                    samples=args.samples,
+                )
+                _print_explain_analyze(report)
+                return 0
             if args.repeat > 1:
                 # Prepare once, execute N times: demonstrates the pipeline's
                 # plan reuse and reports the amortized per-execution cost.
                 prepared = engine.prepare(args.query)
-                start = time.perf_counter()
-                for _ in range(args.repeat):
-                    answer = prepared.answer(
-                        args.mapping_semantics,
-                        args.aggregate_semantics,
-                        samples=args.samples,
-                    )
-                elapsed = time.perf_counter() - start
+                watch = Stopwatch()
+                with watch:
+                    for _ in range(args.repeat):
+                        answer = prepared.answer(
+                            args.mapping_semantics,
+                            args.aggregate_semantics,
+                            samples=args.samples,
+                        )
                 print(answer)
                 print(
-                    f"{args.repeat} executions in {elapsed:.4f}s "
-                    f"({elapsed / args.repeat * 1e3:.3f} ms/execution, "
+                    f"{args.repeat} executions in {watch.elapsed:.4f}s "
+                    f"({watch.elapsed / args.repeat * 1e3:.3f} ms/execution, "
                     "prepared once)"
                 )
                 return 0
@@ -301,6 +390,16 @@ def main(argv: list[str] | None = None) -> int:
         "--repeat", type=int, default=1, metavar="N",
         help="prepare the query once and execute it N times, reporting the "
         "amortized per-execution time (exercises the prepared-plan cache)",
+    )
+    query_parser.add_argument(
+        "--explain", action="store_true",
+        help="print the execution plan (lane, Figure 6 complexity class, "
+        "fallback chain) without executing the query",
+    )
+    query_parser.add_argument(
+        "--explain-analyze", action="store_true",
+        help="execute the query and print the plan with per-span timings "
+        "and metric deltas (combine with --repeat N for cache behaviour)",
     )
     query_parser.add_argument(
         "--stream", action="store_true",

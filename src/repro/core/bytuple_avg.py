@@ -33,6 +33,7 @@ import math
 
 from repro.core.answers import AggregateAnswer, RangeAnswer
 from repro.core.common import PreparedTupleQuery, run_possibly_grouped
+from repro.obs import metrics
 from repro.schema.mapping import PMapping
 from repro.sql.ast import AggregateQuery
 from repro.storage.table import Table
@@ -70,6 +71,7 @@ def _greedy_extreme_mean(
 
 def range_avg_kernel(prepared: PreparedTupleQuery) -> RangeAnswer:
     """The tight AVG range (greedy over optional tuples) for one problem."""
+    metrics.inc("tuples.scanned", len(prepared.rows))
     forced_min: list[float] = []
     forced_max: list[float] = []
     optional_min: list[float] = []

@@ -26,6 +26,7 @@ from repro.core.answers import (
 )
 from repro.core.common import PreparedTupleQuery, run_possibly_grouped
 from repro.exceptions import EvaluationError
+from repro.obs import metrics
 from repro.prob.distribution import DiscreteDistribution
 from repro.schema.mapping import PMapping
 from repro.sql.ast import AggregateQuery
@@ -36,6 +37,7 @@ def range_count_kernel(
     prepared: PreparedTupleQuery, trace: list[dict] | None = None
 ) -> RangeAnswer:
     """The Figure 2 fold over one prepared (ungrouped) problem."""
+    metrics.inc("tuples.scanned", len(prepared.rows))
     low = 0
     up = 0
     for index, vector in enumerate(prepared.contribution_vectors()):
@@ -85,6 +87,7 @@ def count_distribution_dp(
     Poisson-binomial distribution of the count.
     """
     probabilities = [1.0]  # P(count = 0) before any tuple
+    dp_cells = 0
     for index, occ in enumerate(occurrence_probabilities):
         if not -1e-12 <= occ <= 1.0 + 1e-12:
             raise EvaluationError(
@@ -98,10 +101,16 @@ def count_distribution_dp(
         for j in range(1, len(previous)):
             probabilities.append(previous[j] * not_occ + previous[j - 1] * occ)
         probabilities.append(previous[-1] * occ)
+        dp_cells += len(probabilities)
         if trace is not None:
             trace.append(
                 {"tuple_index": index, "probabilities": list(probabilities)}
             )
+    # The Figure 3 table: one row per tuple, widening by one column each
+    # row — rows x cols is what the O(m * n^2) bound counts.
+    metrics.inc("count_dp.rows", len(occurrence_probabilities))
+    metrics.inc("count_dp.cells", dp_cells)
+    metrics.observe("count_dp.width", len(probabilities))
     return DiscreteDistribution(
         ((count, p) for count, p in enumerate(probabilities) if p > 0.0),
     )
@@ -111,6 +120,7 @@ def distribution_count_kernel(
     prepared: PreparedTupleQuery, trace: list[dict] | None = None
 ) -> DistributionAnswer:
     """The Figure 3 DP over one prepared (ungrouped) problem."""
+    metrics.inc("tuples.scanned", len(prepared.rows))
     occurrence = [
         prepared.satisfaction_probability(vector)
         for vector in prepared.contribution_vectors()
@@ -179,6 +189,7 @@ def linear_expected_count_kernel(
     prepared: PreparedTupleQuery,
 ) -> ExpectedValueAnswer:
     """Expected COUNT over one prepared problem, by linearity of expectation."""
+    metrics.inc("tuples.scanned", len(prepared.rows))
     return ExpectedValueAnswer(
         math.fsum(
             prepared.satisfaction_probability(vector)

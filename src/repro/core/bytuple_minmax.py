@@ -28,6 +28,7 @@ import math
 
 from repro.core.answers import AggregateAnswer, RangeAnswer
 from repro.core.common import PreparedTupleQuery, run_possibly_grouped
+from repro.obs import metrics
 from repro.schema.mapping import PMapping
 from repro.sql.ast import AggregateQuery
 from repro.storage.table import Table
@@ -36,6 +37,7 @@ from repro.storage.table import Table
 def _minmax_range(
     prepared: PreparedTupleQuery, *, maximize: bool
 ) -> RangeAnswer:
+    metrics.inc("tuples.scanned", len(prepared.rows))
     forced_inner_extreme = -math.inf if maximize else math.inf
     any_inner_extreme = math.inf if maximize else -math.inf
     outer_extreme = -math.inf if maximize else math.inf

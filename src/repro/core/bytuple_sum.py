@@ -30,6 +30,7 @@ from repro.core.bytable import CertainExecutor, by_table_answer, memory_executor
 from repro.core.common import PreparedTupleQuery, run_possibly_grouped
 from repro.core.semantics import AggregateSemantics
 from repro.exceptions import EvaluationError
+from repro.obs import metrics
 from repro.schema.mapping import PMapping
 from repro.sql.ast import AggregateQuery
 from repro.storage.table import Table
@@ -39,6 +40,7 @@ def range_sum_kernel(
     prepared: PreparedTupleQuery, trace: list[dict] | None = None
 ) -> RangeAnswer:
     """The (tightened) Figure 4 fold over one prepared (ungrouped) problem."""
+    metrics.inc("tuples.scanned", len(prepared.rows))
     low = 0.0
     up = 0.0
     any_satisfiable = False
@@ -166,6 +168,7 @@ def by_tuple_expected_sum(
 
 def expected_sum_kernel(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
     """Exact conditional expected SUM over one prepared problem."""
+    metrics.inc("tuples.scanned", len(prepared.rows))
     total = 0.0
     empty_world_probability = 1.0
     any_satisfiable = False
@@ -186,6 +189,7 @@ def linear_expected_sum_kernel(
     prepared: PreparedTupleQuery,
 ) -> ExpectedValueAnswer:
     """Unconditional expected SUM over one prepared problem."""
+    metrics.inc("tuples.scanned", len(prepared.rows))
     total = 0.0
     any_satisfiable = False
     for vector in prepared.contribution_vectors():

@@ -26,6 +26,7 @@ from collections.abc import Mapping
 
 from repro.core.common import PreparedTupleQuery
 from repro.exceptions import UnsupportedQueryError
+from repro.obs import metrics, trace
 from repro.schema.mapping import PMapping, SchemaPMapping
 from repro.sql.ast import AggregateQuery, SubquerySource
 from repro.sql.parser import parse_query
@@ -87,9 +88,10 @@ class CompiledQuery:
             query shapes outside the by-tuple fragment (e.g. DISTINCT SUM).
         """
         if self._prepared is None:
-            self._prepared = PreparedTupleQuery(
-                self.table, self.pmapping, self.query
-            )
+            with trace.span("compile.prepare_tuples", query=self.text):
+                self._prepared = PreparedTupleQuery(
+                    self.table, self.pmapping, self.query
+                )
         return self._prepared
 
     def prepared_or_none(self) -> PreparedTupleQuery | None:
@@ -106,9 +108,10 @@ class CompiledQuery:
         and reused across semantics and re-executions.
         """
         if self._reformulations is None:
-            self._reformulations = list(
-                reformulations(self.query, self.pmapping, unmapped="null")
-            )
+            with trace.span("compile.reformulate", query=self.text):
+                self._reformulations = list(
+                    reformulations(self.query, self.pmapping, unmapped="null")
+                )
         return self._reformulations
 
     def materialize(self) -> "CompiledQuery":
@@ -120,8 +123,10 @@ class CompiledQuery:
         """
         target = self.inner if self.inner is not None else self
         prepared = target.prepared_or_none()
-        if prepared is not None:
-            prepared.materialize()
+        if prepared is not None and not prepared.is_materialized:
+            metrics.inc("prepared.materializations")
+            with trace.span("compile.materialize", query=self.text):
+                prepared.materialize()
         return self
 
     def __repr__(self) -> str:
@@ -148,6 +153,7 @@ def compile_query(
 ) -> CompiledQuery:
     """Parse (if given text), resolve, and compile one query."""
     if isinstance(query, str):
-        query = parse_query(query)
+        with trace.span("compile.parse"):
+            query = parse_query(query)
     table, pmapping = resolve(query, tables, schema_pmapping)
     return CompiledQuery(query, table, pmapping)

@@ -53,7 +53,7 @@ from collections.abc import Iterable, Mapping, Sequence
 
 from repro.core import bytable
 from repro.core.answers import AggregateAnswer
-from repro.core.compile import CompiledQuery
+from repro.core.compile import CompiledQuery, cache_key
 from repro.core.execute import ExecutionContext, PreparedQuery
 from repro.core.planner import AlgorithmSpec, ExecutionPlan, Planner
 from repro.core.semantics import (
@@ -63,6 +63,8 @@ from repro.core.semantics import (
     coerce_mapping_semantics,
 )
 from repro.exceptions import EvaluationError, IntractableError, MappingError
+from repro.obs import metrics, trace
+from repro.obs.timers import Stopwatch
 from repro.schema.mapping import PMapping, SchemaPMapping
 from repro.sql.ast import AggregateQuery
 from repro.sql.parser import parse_query
@@ -240,10 +242,11 @@ class AggregationEngine:
             forbids both the exponential fallback and sampling.
         """
         self.context.ensure_open()
-        plan = self.plan(query, mapping_semantics, aggregate_semantics)
-        return plan.answer(
-            samples=samples, seed=seed, max_sequences=max_sequences
-        )
+        with trace.span("answer", query=cache_key(query)):
+            plan = self.plan(query, mapping_semantics, aggregate_semantics)
+            return plan.answer(
+                samples=samples, seed=seed, max_sequences=max_sequences
+            )
 
     def answer_many(
         self,
@@ -272,6 +275,77 @@ class AggregationEngine:
             )
             for query in queries
         ]
+
+    # -- observability -----------------------------------------------------
+
+    def explain(
+        self,
+        query: str | AggregateQuery,
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+    ) -> dict:
+        """The execution plan, without executing (``EXPLAIN``).
+
+        Returns :meth:`~repro.core.planner.ExecutionPlan.to_dict`: the
+        chosen lane, the cell's Figure 6 complexity class, the algorithm,
+        and the fallback chain (plus the inner plan for nested queries).
+        """
+        return self.plan(
+            query, mapping_semantics, aggregate_semantics
+        ).to_dict()
+
+    def explain_analyze(
+        self,
+        query: str | AggregateQuery,
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+        *,
+        repeat: int = 1,
+        samples: int | None = None,
+        seed: int | None = None,
+        max_sequences: int | None = None,
+    ) -> dict:
+        """Execute and report what happened (``EXPLAIN ANALYZE``).
+
+        Runs the query ``repeat`` times under a temporary in-memory trace
+        sink (replacing any installed sink for the duration) and returns
+        the plan tree plus per-span wall-clock timings (one root span per
+        execution) and the process-wide metric deltas of the run.  With
+        ``repeat > 1`` the deltas make the cache behaviour visible: one
+        ``plan.cache.miss`` on a cold engine, ``repeat - 1`` hits after.
+        """
+        self.context.ensure_open()
+        if repeat < 1:
+            raise EvaluationError("repeat must be >= 1")
+        sink = trace.InMemorySink()
+        registry = metrics.get_registry()
+        before = registry.snapshot()
+        watch = Stopwatch()
+        with trace.use_sink(sink), watch:
+            for _ in range(repeat):
+                answer = self.answer(
+                    query,
+                    mapping_semantics,
+                    aggregate_semantics,
+                    samples=samples,
+                    seed=seed,
+                    max_sequences=max_sequences,
+                )
+        deltas = metrics.delta(before, registry.snapshot())
+        plan = self.plan(query, mapping_semantics, aggregate_semantics)
+        return {
+            "query": plan.compiled.text,
+            "plan": plan.to_dict(),
+            "answer": repr(answer),
+            "executions": repeat,
+            "seconds": watch.elapsed,
+            "spans": [root.to_dict() for root in sink.roots],
+            "metrics": deltas,
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """The per-engine metric state (see ``docs/observability.md``)."""
+        return self.context.metrics.snapshot()
 
     def algorithm_for(
         self,

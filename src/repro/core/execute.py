@@ -47,6 +47,7 @@ from repro.exceptions import (
     IntractableError,
     UnsupportedQueryError,
 )
+from repro.obs import metrics, trace
 from repro.schema.mapping import SchemaPMapping
 from repro.sql.ast import AggregateOp, AggregateQuery
 from repro.storage.sqlite_backend import SQLiteBackend
@@ -89,6 +90,10 @@ class ExecutionContext:
         self.columnar_cache: dict[str, object] = {}
         self.cache_size = cache_size
         self.closed = False
+        #: Per-engine metric state (cache hits/misses, lane counts); chained
+        #: to the process-wide registry so EXPLAIN ANALYZE sees the same
+        #: numbers.  Reset by :meth:`invalidate` and :meth:`close`.
+        self.metrics = metrics.MetricsRegistry(parent=metrics.get_registry())
         self._compiled: OrderedDict[str, CompiledQuery] = OrderedDict()
         self._plans: OrderedDict[
             tuple[str, MappingSemantics, AggregateSemantics], ExecutionPlan
@@ -103,22 +108,31 @@ class ExecutionContext:
             raise EngineClosedError("engine is closed")
 
     def close(self) -> None:
-        """Release the SQLite backend (if any) and refuse further execution."""
+        """Release the SQLite backend (if any) and refuse further execution.
+
+        Also resets the per-context metric state: a closed context must not
+        keep reporting the cache traffic of its previous life (the
+        process-wide parent registry retains the cumulative totals).
+        """
         if self.backend is not None:
             self.backend.close()
             self.backend = None
             self.closed = True
+        self.metrics.reset()
 
     def invalidate(self) -> None:
         """Drop every cache (compiled, plans, prepared, columnar).
 
         Call after mutating a source table or swapping the planner; cached
-        state reflects the data and policy at compile/plan time.
+        state reflects the data and policy at compile/plan time.  The
+        per-context metric state resets with the caches — hit/miss counts
+        refer to cache entries that no longer exist.
         """
         self._compiled.clear()
         self._plans.clear()
         self._prepared.clear()
         self.columnar_cache.clear()
+        self.metrics.reset()
 
     # -- caches ------------------------------------------------------------
 
@@ -133,9 +147,14 @@ class ExecutionContext:
         key = cache_key(query)
         compiled = self._compiled.get(key)
         if compiled is None:
-            compiled = compile_query(query, self.tables, self.schema_pmapping)
+            self.metrics.inc("compile.cache.miss")
+            with trace.span("compile", query=key):
+                compiled = compile_query(
+                    query, self.tables, self.schema_pmapping
+                )
             self._remember(self._compiled, key, compiled)
         else:
+            self.metrics.inc("compile.cache.hit")
             self._compiled.move_to_end(key)
         return compiled
 
@@ -154,11 +173,25 @@ class ExecutionContext:
         key = (compiled.text, mapping_semantics, aggregate_semantics)
         plan = self._plans.get(key)
         if plan is None:
-            plan = planner.plan(
-                compiled, mapping_semantics, aggregate_semantics, self
+            self.metrics.inc("plan.cache.miss")
+            with trace.span(
+                "plan.select_lane",
+                query=compiled.text,
+                mapping_semantics=mapping_semantics.value,
+                aggregate_semantics=aggregate_semantics.value,
+            ):
+                plan = planner.plan(
+                    compiled, mapping_semantics, aggregate_semantics, self
+                )
+            self.metrics.inc(f"plan.lane.{plan.lane}")
+            self.metrics.inc(
+                "plan.cell."
+                f"{compiled.query.aggregate.op.value}."
+                f"{mapping_semantics.value}.{aggregate_semantics.value}"
             )
             self._remember(self._plans, key, plan)
         else:
+            self.metrics.inc("plan.cache.hit")
             self._plans.move_to_end(key)
         return plan
 
@@ -169,9 +202,11 @@ class ExecutionContext:
         compiled = self.compile(query)
         prepared = self._prepared.get(compiled.text)
         if prepared is None:
+            self.metrics.inc("prepared.cache.miss")
             prepared = PreparedQuery(compiled, planner, self)
             self._remember(self._prepared, compiled.text, prepared)
         else:
+            self.metrics.inc("prepared.cache.hit")
             self._prepared.move_to_end(compiled.text)
         return prepared
 
@@ -236,9 +271,10 @@ class PreparedQuery:
     ) -> AggregateAnswer:
         """Answer one semantics cell, amortizing compilation and planning."""
         self._context.ensure_open()
-        return self.plan_for(mapping_semantics, aggregate_semantics).answer(
-            samples=samples, seed=seed, max_sequences=max_sequences
-        )
+        with trace.span("answer", query=self.compiled.text, prepared=True):
+            return self.plan_for(
+                mapping_semantics, aggregate_semantics
+            ).answer(samples=samples, seed=seed, max_sequences=max_sequences)
 
     def __repr__(self) -> str:
         return f"PreparedQuery({self.text!r})"
@@ -254,47 +290,67 @@ def execute_plan(
     seed: int | None = None,
     max_sequences: int | None = None,
 ) -> AggregateAnswer:
-    """Run a plan: dispatch on its lane, falling back where the lane allows."""
+    """Run a plan: dispatch on its lane, falling back where the lane allows.
+
+    Each dispatch runs inside an ``execute.<lane>`` span; a conditional
+    lane that declines at run time records ``execute.fallback.<lane>`` and
+    re-enters through its fallback plan, so the fallback's span nests under
+    the declined lane's.
+    """
     context = plan.context
     context.ensure_open()
     lane = plan.lane
-    if lane == Lane.BY_TABLE:
-        results = [
-            (context.executor(reformulated), probability)
-            for reformulated, probability in plan.compiled.reformulations()
-        ]
-        return bytable.combine_results(results, plan.aggregate_semantics)
-    if lane == Lane.VECTORIZED:
-        answer = _try_vectorized(plan)
-        if answer is not None:
-            return answer
-        return execute_plan(
-            plan.fallback,
-            samples=samples,
-            seed=seed,
-            max_sequences=max_sequences,
-        )
-    if lane in (Lane.SCALAR, Lane.EXTENSION):
-        return run_prepared(plan.compiled.prepared(), plan.spec.kernel)
-    if lane == Lane.NESTED_RANGE:
-        return _execute_nested_range(plan)
-    if lane == Lane.NESTED_COMPOSE:
-        answer = _compose_nested(plan)
-        if answer is not None:
-            return answer
-        if plan.fallback is not None:
+    with trace.span(
+        "execute." + lane,
+        lane=lane,
+        algorithm=plan.spec.name if plan.spec is not None else None,
+    ):
+        if lane == Lane.BY_TABLE:
+            reformulated_pairs = plan.compiled.reformulations()
+            context.metrics.inc(
+                "bytable.reformulations", len(reformulated_pairs)
+            )
+            results = [
+                (context.executor(reformulated), probability)
+                for reformulated, probability in reformulated_pairs
+            ]
+            return bytable.combine_results(results, plan.aggregate_semantics)
+        if lane == Lane.VECTORIZED:
+            answer = _try_vectorized(plan)
+            if answer is not None:
+                context.metrics.inc("vectorized.hit")
+                return answer
+            context.metrics.inc("vectorized.fallback")
+            context.metrics.inc(f"execute.fallback.{lane}")
             return execute_plan(
                 plan.fallback,
                 samples=samples,
                 seed=seed,
                 max_sequences=max_sequences,
             )
-        raise IntractableError(
-            "nested by-tuple queries under the distribution/expected value "
-            "semantics require allow_exponential=True or allow_sampling=True"
-        )
-    if lane in (Lane.NAIVE, Lane.SAMPLING):
-        return plan.spec.run(_request(plan, samples, seed, max_sequences))
+        if lane in (Lane.SCALAR, Lane.EXTENSION):
+            return run_prepared(plan.compiled.prepared(), plan.spec.kernel)
+        if lane == Lane.NESTED_RANGE:
+            return _execute_nested_range(plan)
+        if lane == Lane.NESTED_COMPOSE:
+            answer = _compose_nested(plan)
+            if answer is not None:
+                return answer
+            if plan.fallback is not None:
+                context.metrics.inc(f"execute.fallback.{lane}")
+                return execute_plan(
+                    plan.fallback,
+                    samples=samples,
+                    seed=seed,
+                    max_sequences=max_sequences,
+                )
+            raise IntractableError(
+                "nested by-tuple queries under the distribution/expected "
+                "value semantics require allow_exponential=True or "
+                "allow_sampling=True"
+            )
+        if lane in (Lane.NAIVE, Lane.SAMPLING):
+            return plan.spec.run(_request(plan, samples, seed, max_sequences))
     raise EvaluationError(f"unknown execution lane {lane!r}")
 
 

@@ -409,6 +409,37 @@ class ExecutionPlan:
             Lane.SAMPLING,
         )
 
+    def to_dict(self) -> dict:
+        """A stable, JSON-ready description of the plan.
+
+        The contract consumed by ``--explain`` rendering, ``EXPLAIN
+        ANALYZE`` reports, and the test suite — no repr-string scraping.
+        Fallback and inner plans nest recursively.
+        """
+        spec = self.spec
+        return {
+            "query": self.compiled.text,
+            "cell": {
+                "op": self.compiled.query.aggregate.op.value,
+                "mapping_semantics": self.mapping_semantics.value,
+                "aggregate_semantics": self.aggregate_semantics.value,
+            },
+            "lane": self.lane,
+            "complexity": self.complexity,
+            "algorithm": spec.name if spec is not None else None,
+            "exact": spec.exact if spec is not None else True,
+            "paper_reference": spec.paper_reference if spec is not None else "",
+            "fallback_chain": self.fallback_chain,
+            "fallback": (
+                self.fallback.to_dict() if self.fallback is not None else None
+            ),
+            "inner": (
+                self.inner_plan.to_dict()
+                if self.inner_plan is not None
+                else None
+            ),
+        }
+
     def answer(
         self,
         *,

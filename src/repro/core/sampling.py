@@ -33,6 +33,7 @@ from repro.core.eval import apply_aggregate, evaluate_certain
 from repro.core.naive import _projected_rows, _target_relation_name
 from repro.core.semantics import AggregateSemantics
 from repro.exceptions import EvaluationError, UnsupportedQueryError
+from repro.obs import metrics
 from repro.prob.distribution import DiscreteDistribution
 from repro.schema.mapping import PMapping
 from repro.sql.ast import AggregateQuery, SubquerySource
@@ -207,7 +208,9 @@ def _sample_flat(
 ) -> AggregateAnswer:
     if prepared is None:
         prepared = PreparedTupleQuery(table, pmapping, query)
+    metrics.inc("sampling.iterations", samples)
     vectors = list(prepared.contribution_vectors())
+    metrics.inc("tuples.scanned", len(vectors))
     cumulative = list(itertools.accumulate(prepared.probabilities))
     outcomes: dict[float, int] = {}
     undefined = 0
@@ -243,6 +246,7 @@ def _sample_worlds(
             f"query reads from {_target_relation_name(query)!r} but the "
             f"p-mapping targets {target.name!r}"
         )
+    metrics.inc("sampling.iterations", samples)
     projections = _projected_rows(table, pmapping)
     cumulative = list(itertools.accumulate(pmapping.probabilities))
     mapping_count = len(pmapping)

@@ -46,6 +46,7 @@ from repro.core.bytuple_avg import _greedy_extreme_mean
 from repro.core.bytuple_count import count_distribution_dp
 from repro.core.compile import CompiledQuery
 from repro.exceptions import UnsupportedQueryError
+from repro.obs import metrics, trace
 from repro.schema.mapping import PMapping
 from repro.schema.model import Relation
 from repro.sql.ast import AggregateQuery
@@ -387,8 +388,13 @@ def answer_stream(
     ...               RangeCountAccumulator)               # doctest: +SKIP
     RangeAnswer([31204, 96018])
     """
-    stream = TupleStream(relation, pmapping, query)
-    accumulator = accumulator_factory(stream)
-    for values in rows:
-        accumulator.add_row(values)
-    return accumulator.result()
+    with trace.span("execute.streaming", query=query.to_sql()):
+        stream = TupleStream(relation, pmapping, query)
+        accumulator = accumulator_factory(stream)
+        streamed = 0
+        for values in rows:
+            accumulator.add_row(values)
+            streamed += 1
+        metrics.inc("streaming.rows", streamed)
+        metrics.inc("tuples.scanned", streamed)
+        return accumulator.result()

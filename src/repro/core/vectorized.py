@@ -28,6 +28,7 @@ from repro.core.answers import (
 )
 from repro.core.semantics import AggregateSemantics
 from repro.exceptions import ReproError, UnsupportedQueryError
+from repro.obs import metrics
 from repro.prob.distribution import DiscreteDistribution
 from repro.schema.mapping import PMapping
 from repro.schema.model import AttributeType, Relation
@@ -282,6 +283,7 @@ class VectorizedProblem:
                 f"targets {pmapping.target.name!r}"
             )
         self.op = query.aggregate.op
+        metrics.inc("tuples.scanned", ctable.row_count)
         self.probabilities = np.asarray(list(pmapping.probabilities))
         self.participation: list[np.ndarray] = []
         self.values: list[np.ndarray | None] = []

@@ -1,0 +1,46 @@
+"""Observability for the answering pipeline: spans, metrics, timers.
+
+Zero-dependency (stdlib only) and near-free when idle: with no trace sink
+installed, :func:`~repro.obs.trace.span` returns a shared no-op object,
+and metrics record one dictionary operation per pipeline *stage*, never
+per tuple.
+
+* :mod:`repro.obs.trace` — nestable wall-clock spans with pluggable sinks
+  (in-memory ring buffer, JSONL file).
+* :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
+  and histograms, with chained per-engine child registries.
+* :mod:`repro.obs.timers` — the shared :class:`~repro.obs.timers.Stopwatch`
+  behind the CLI, the benchmark harness, and ``EXPLAIN ANALYZE``.
+
+See ``docs/observability.md`` for the span and metric catalogs.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import Stopwatch, time_call
+from repro.obs.trace import (
+    InMemorySink,
+    JSONLSink,
+    Span,
+    add_attribute,
+    install_sink,
+    span,
+    uninstall_sink,
+    use_sink,
+)
+
+__all__ = [
+    "InMemorySink",
+    "JSONLSink",
+    "MetricsRegistry",
+    "Span",
+    "Stopwatch",
+    "add_attribute",
+    "install_sink",
+    "metrics",
+    "span",
+    "time_call",
+    "trace",
+    "uninstall_sink",
+    "use_sink",
+]

@@ -1,0 +1,224 @@
+"""A process-wide registry of counters, gauges, and histograms.
+
+The pipeline reports *what happened* through metrics and *how long it
+took* through spans (:mod:`repro.obs.trace`).  Metrics are always on:
+recording one is a couple of dictionary operations per *stage* (never per
+tuple), so the uninstrumented hot loops stay untouched.
+
+Registries chain: a :class:`MetricsRegistry` built with a ``parent``
+forwards every recording to it, so the per-engine registry on
+:class:`~repro.core.execute.ExecutionContext` can be reset independently
+(``invalidate()``/``close()``) while the process-wide default registry
+keeps the cumulative totals that ``EXPLAIN ANALYZE`` diffs.
+
+The metric catalog (names and meanings) is in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-write-wins value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values: count, sum, min, max, mean."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict:
+        """A JSON-ready summary (empty histogram: all-zero, no min/max)."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshottable and resettable."""
+
+    def __init__(self, parent: "MetricsRegistry | None" = None) -> None:
+        self.parent = parent
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created at zero on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created at zero on first use."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created empty on first use."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Increment a counter here and in every ancestor registry."""
+        self.counter(name).inc(amount)
+        if self.parent is not None:
+            self.parent.inc(name, amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge here and in every ancestor registry."""
+        self.gauge(name).set(value)
+        if self.parent is not None:
+            self.parent.set_gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a histogram observation here and in every ancestor."""
+        self.histogram(name).observe(value)
+        if self.parent is not None:
+            self.parent.observe(name, value)
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every metric's current value: counters and gauges as numbers,
+        histograms as summary dicts, sorted by name."""
+        out: dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[name] = histogram.summary()
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        """Drop every metric (they recreate at zero on next use)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def render_text(self) -> str:
+        """One ``name value`` line per metric (histograms as key=value)."""
+        lines = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                inner = " ".join(f"{k}={v:g}" for k, v in value.items())
+                lines.append(f"{name} {inner}")
+            else:
+                lines.append(f"{name} {value:g}")
+        return "\n".join(lines)
+
+    def render_json(self, *, indent: int | None = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+
+def delta(before: dict, after: dict) -> dict:
+    """The metrics that changed between two snapshots.
+
+    Counters and gauges diff numerically; histograms diff their ``count``
+    and ``sum`` fields.  Metrics absent from ``before`` count from zero;
+    unchanged metrics are omitted.
+    """
+    changed: dict[str, object] = {}
+    for name, value in after.items():
+        prior = before.get(name)
+        if isinstance(value, dict):
+            prior = prior or {"count": 0, "sum": 0.0}
+            if value.get("count", 0) != prior.get("count", 0):
+                changed[name] = {
+                    "count": value.get("count", 0) - prior.get("count", 0),
+                    "sum": value.get("sum", 0.0) - prior.get("sum", 0.0),
+                }
+        else:
+            diff = value - (prior or 0)
+            if diff != 0:
+                changed[name] = diff
+    return changed
+
+
+#: The process-wide default registry; stage instrumentation without an
+#: execution context (kernels, sampling, streaming, SQLite) records here.
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = registry
+    return previous
+
+
+def inc(name: str, amount: int = 1) -> None:
+    """Increment a counter on the default registry."""
+    _DEFAULT.inc(name, amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the default registry."""
+    _DEFAULT.set_gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the default registry."""
+    _DEFAULT.observe(name, value)
+
+
+def snapshot() -> dict:
+    """Snapshot the default registry."""
+    return _DEFAULT.snapshot()

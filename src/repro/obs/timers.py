@@ -1,0 +1,64 @@
+"""Wall-clock timing utilities shared by the CLI, benchmarks, and EXPLAIN.
+
+One code path for every number the library reports: the CLI's
+``--repeat`` summary, the benchmark harness sweeps, and ``EXPLAIN
+ANALYZE`` all measure through :class:`Stopwatch` / :func:`time_call`,
+so their timings are directly comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+
+class Stopwatch:
+    """An accumulating wall-clock timer.
+
+    Usable as a context manager (each ``with`` adds to ``elapsed``) or via
+    explicit :meth:`start`/:meth:`stop`.
+    """
+
+    __slots__ = ("elapsed", "_started")
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float | None = None
+
+    @property
+    def running(self) -> bool:
+        """True between :meth:`start` and :meth:`stop`."""
+        return self._started is not None
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing."""
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing; returns the total accumulated seconds."""
+        if self._started is not None:
+            self.elapsed += time.perf_counter() - self._started
+            self._started = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulator and stop."""
+        self.elapsed = 0.0
+        self._started = None
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f"Stopwatch({self.elapsed:.6f}s)"
+
+
+def time_call(fn: Callable[..., object], *args, **kwargs) -> tuple[object, float]:
+    """Call ``fn`` and return ``(result, wall-clock seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,212 @@
+"""Nestable tracing spans with pluggable sinks.
+
+The answering pipeline is instrumented with ``with span("plan.select_lane"):``
+blocks.  When no sink is installed — the default — :func:`span` returns a
+shared no-op context manager, so instrumentation costs one module-global
+check per block and nothing else; the prepared-reuse benchmark guards this
+(``benchmarks/bench_prepared_reuse.py``).
+
+Install a sink to start recording::
+
+    sink = InMemorySink()
+    with use_sink(sink):
+        engine.answer(...)
+    sink.roots[0].to_dict()   # the span tree of the answer() call
+
+Spans nest: a span entered while another is open becomes its child, and
+only *root* spans are handed to the sink (as complete trees).  The span
+catalog is documented in ``docs/observability.md``.
+
+Sinks are deliberately minimal: anything with a ``handle(span)`` method
+works.  :class:`InMemorySink` keeps the last N root spans in a ring
+buffer; :class:`JSONLSink` appends one JSON object per root span to a
+file.  The module keeps a single process-wide sink slot (the library is
+synchronous; see the docs for the threading caveat).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+
+class Span:
+    """One timed, attributed, nestable region of work.
+
+    Created by :func:`span` (do not instantiate directly); timing runs from
+    ``__enter__`` to ``__exit__`` on :func:`time.perf_counter`.
+    """
+
+    __slots__ = ("name", "attributes", "start", "end", "children")
+
+    def __init__(self, name: str, attributes: dict) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.start: float | None = None
+        self.end: float | None = None
+        self.children: list[Span] = []
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock duration; 0.0 while the span is still open."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, key: str, value: object) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        """A JSON-ready form of the span tree rooted here."""
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end = time.perf_counter()
+        if _STACK and _STACK[-1] is self:
+            _STACK.pop()
+        if _STACK:
+            _STACK[-1].children.append(self)
+        elif _SINK is not None:
+            _SINK.handle(self)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.seconds * 1e3:.3f} ms)"
+
+
+class _NoOpSpan:
+    """The shared do-nothing span returned while no sink is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoOpSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+_NOOP = _NoOpSpan()
+_SINK = None
+_STACK: list[Span] = []
+
+
+def span(name: str, **attributes: object):
+    """A context manager timing one named region.
+
+    With no sink installed this is the shared no-op object; otherwise a
+    fresh :class:`Span` that nests under any currently open span.
+    """
+    if _SINK is None:
+        return _NOOP
+    return Span(name, attributes)
+
+
+def add_attribute(key: str, value: object) -> None:
+    """Set an attribute on the innermost open span (no-op without one)."""
+    if _STACK:
+        _STACK[-1].set(key, value)
+
+
+def current_sink():
+    """The installed sink, or ``None``."""
+    return _SINK
+
+
+def install_sink(sink) -> None:
+    """Install ``sink`` as the process-wide span sink."""
+    global _SINK
+    _SINK = sink
+
+
+def uninstall_sink() -> None:
+    """Remove the sink; :func:`span` reverts to the no-op fast path."""
+    global _SINK
+    _SINK = None
+
+
+@contextmanager
+def use_sink(sink):
+    """Temporarily install ``sink``, restoring the previous one on exit."""
+    global _SINK
+    previous = _SINK
+    _SINK = sink
+    try:
+        yield sink
+    finally:
+        _SINK = previous
+
+
+class InMemorySink:
+    """A ring buffer of the last ``capacity`` completed root span trees."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._roots: deque[Span] = deque(maxlen=capacity)
+
+    @property
+    def roots(self) -> list[Span]:
+        """The buffered root spans, oldest first."""
+        return list(self._roots)
+
+    def handle(self, root: Span) -> None:
+        self._roots.append(root)
+
+    def clear(self) -> None:
+        """Drop every buffered span."""
+        self._roots.clear()
+
+    def spans(self) -> Iterator[Span]:
+        """Every buffered span (roots and descendants), depth-first."""
+        for root in self._roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All buffered spans with this name."""
+        return [s for s in self.spans() if s.name == name]
+
+    def __len__(self) -> int:
+        return len(self._roots)
+
+
+class JSONLSink:
+    """Appends one JSON object per completed root span tree to a file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = self.path.open("a")
+
+    def handle(self, root: Span) -> None:
+        self._handle.write(json.dumps(root.to_dict()) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        self._handle.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

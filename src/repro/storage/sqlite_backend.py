@@ -18,6 +18,7 @@ import sqlite3
 from collections.abc import Iterable, Sequence
 
 from repro.exceptions import StorageError
+from repro.obs import metrics
 from repro.schema.model import Attribute, AttributeType, Relation
 from repro.storage.table import Table
 
@@ -169,6 +170,7 @@ class SQLiteBackend:
         (see :meth:`repro.sql.ast.AggregateQuery.to_sql`) and executes it
         here, one query per candidate mapping — exactly the paper's Figure 1.
         """
+        metrics.inc("sqlite.queries")
         try:
             cursor = self._connection.execute(sql, tuple(parameters))
         except sqlite3.Error as exc:

@@ -1,0 +1,248 @@
+"""The observability layer itself: spans, sinks, metrics, timers.
+
+Pipeline-facing behaviour (what the instrumentation *records* during an
+``answer()`` call) lives in ``test_explain.py``; this module covers the
+:mod:`repro.obs` primitives in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import metrics, trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timers import Stopwatch, time_call
+from repro.obs.trace import InMemorySink, JSONLSink, use_sink
+
+
+@pytest.fixture
+def sink():
+    """A fresh in-memory sink installed for the duration of the test."""
+    with use_sink(InMemorySink()) as sink:
+        yield sink
+
+
+class TestSpans:
+    def test_no_sink_returns_shared_noop(self):
+        assert trace.current_sink() is None
+        first = trace.span("a", key="value")
+        second = trace.span("b")
+        assert first is second  # the shared no-op object
+        with first as entered:
+            entered.set("ignored", 1)  # must not raise
+
+    def test_root_span_reaches_sink(self, sink):
+        with trace.span("root", color="red"):
+            pass
+        assert len(sink) == 1
+        (root,) = sink.roots
+        assert root.name == "root"
+        assert root.attributes == {"color": "red"}
+        assert root.seconds > 0.0
+        assert root.children == []
+
+    def test_nesting_builds_a_tree(self, sink):
+        with trace.span("outer"):
+            with trace.span("middle"):
+                with trace.span("inner"):
+                    pass
+            with trace.span("sibling"):
+                pass
+        (root,) = sink.roots
+        assert [child.name for child in root.children] == ["middle", "sibling"]
+        assert [child.name for child in root.children[0].children] == ["inner"]
+        # Only the root is handed to the sink; walk() reaches the rest.
+        assert len(sink) == 1
+        assert [s.name for s in root.walk()] == [
+            "outer", "middle", "inner", "sibling",
+        ]
+        assert sink.find("inner")[0].seconds <= root.seconds
+
+    def test_add_attribute_targets_innermost_open_span(self, sink):
+        trace.add_attribute("orphan", 1)  # no open span: silently dropped
+        with trace.span("outer"):
+            with trace.span("inner"):
+                trace.add_attribute("rows", 7)
+        (root,) = sink.roots
+        assert root.attributes == {}
+        assert root.children[0].attributes == {"rows": 7}
+
+    def test_to_dict_round_trips_through_json(self, sink):
+        with trace.span("outer", n=3):
+            with trace.span("inner"):
+                pass
+        data = json.loads(json.dumps(sink.roots[0].to_dict()))
+        assert data["name"] == "outer"
+        assert data["attributes"] == {"n": 3}
+        assert data["children"][0]["name"] == "inner"
+        assert data["seconds"] >= data["children"][0]["seconds"]
+
+    def test_exception_still_closes_and_reports_span(self, sink):
+        with pytest.raises(ValueError):
+            with trace.span("doomed"):
+                raise ValueError("boom")
+        assert [s.name for s in sink.spans()] == ["doomed"]
+        # The stack unwound: the next span is a root, not a child.
+        with trace.span("after"):
+            pass
+        assert [r.name for r in sink.roots] == ["doomed", "after"]
+
+
+class TestSinks:
+    def test_ring_buffer_drops_oldest(self):
+        with use_sink(InMemorySink(capacity=2)) as sink:
+            for name in ("a", "b", "c"):
+                with trace.span(name):
+                    pass
+        assert [r.name for r in sink.roots] == ["b", "c"]
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_use_sink_restores_previous(self):
+        outer, inner = InMemorySink(), InMemorySink()
+        with use_sink(outer):
+            with use_sink(inner):
+                assert trace.current_sink() is inner
+            assert trace.current_sink() is outer
+        assert trace.current_sink() is None
+
+    def test_install_uninstall(self):
+        sink = InMemorySink()
+        trace.install_sink(sink)
+        try:
+            assert trace.current_sink() is sink
+        finally:
+            trace.uninstall_sink()
+        assert trace.current_sink() is None
+
+    def test_jsonl_sink_appends_one_line_per_root(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JSONLSink(path) as sink, use_sink(sink):
+            with trace.span("first"):
+                with trace.span("child"):
+                    pass
+            with trace.span("second"):
+                pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["name"] == "first"
+        assert first["children"][0]["name"] == "child"
+        assert second["name"] == "second"
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 4)
+        registry.set_gauge("depth", 2.0)
+        registry.set_gauge("depth", 3.0)
+        for value in (1.0, 5.0, 3.0):
+            registry.observe("width", value)
+        snap = registry.snapshot()
+        assert snap["hits"] == 5
+        assert snap["depth"] == 3.0
+        assert snap["width"] == {
+            "count": 3, "sum": 9.0, "min": 1.0, "max": 5.0, "mean": 3.0,
+        }
+        assert list(snap) == sorted(snap)
+
+    def test_empty_histogram_summary(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("w").summary() == {"count": 0, "sum": 0.0}
+
+    def test_reset_recreates_at_zero(self):
+        registry = MetricsRegistry()
+        registry.inc("n", 9)
+        registry.reset()
+        assert registry.snapshot() == {}
+        registry.inc("n")
+        assert registry.snapshot() == {"n": 1}
+
+    def test_parent_forwarding_and_independent_reset(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.inc("n", 2)
+        child.observe("w", 4.0)
+        child.set_gauge("g", 7.0)
+        assert parent.snapshot()["n"] == 2
+        assert parent.snapshot()["w"]["count"] == 1
+        assert parent.snapshot()["g"] == 7.0
+        child.reset()
+        assert child.snapshot() == {}
+        # The parent keeps the cumulative totals.
+        assert parent.snapshot()["n"] == 2
+        child.inc("n")
+        assert child.snapshot()["n"] == 1
+        assert parent.snapshot()["n"] == 3
+
+    def test_delta(self):
+        before = {"a": 1, "b": 2.0, "h": {"count": 1, "sum": 3.0}}
+        after = {
+            "a": 4,
+            "b": 2.0,
+            "h": {"count": 3, "sum": 10.0, "min": 1.0, "max": 6.0},
+            "new": 1,
+            "newh": {"count": 2, "sum": 5.0},
+        }
+        assert metrics.delta(before, after) == {
+            "a": 3,
+            "h": {"count": 2, "sum": 7.0},
+            "new": 1,
+            "newh": {"count": 2, "sum": 5.0},
+        }
+        assert metrics.delta(after, after) == {}
+
+    def test_renderers(self):
+        registry = MetricsRegistry()
+        registry.inc("hits", 2)
+        registry.observe("w", 3.0)
+        text = registry.render_text()
+        assert "hits 2" in text
+        assert "w count=1" in text
+        assert json.loads(registry.render_json())["hits"] == 2
+
+    def test_module_level_helpers_hit_default_registry(self):
+        previous = metrics.set_registry(MetricsRegistry())
+        try:
+            metrics.inc("module.counter", 3)
+            metrics.set_gauge("module.gauge", 1.5)
+            metrics.observe("module.histogram", 2.0)
+            snap = metrics.snapshot()
+            assert snap["module.counter"] == 3
+            assert snap["module.gauge"] == 1.5
+            assert snap["module.histogram"]["count"] == 1
+            assert metrics.get_registry().snapshot() == snap
+        finally:
+            metrics.set_registry(previous)
+
+
+class TestTimers:
+    def test_stopwatch_accumulates_across_with_blocks(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        assert first > 0.0
+        with watch:
+            pass
+        assert watch.elapsed > first
+        assert not watch.running
+
+    def test_stopwatch_start_stop_reset(self):
+        watch = Stopwatch()
+        watch.start()
+        assert watch.running
+        total = watch.stop()
+        assert total == watch.elapsed > 0.0
+        assert watch.stop() == total  # idempotent when not running
+        watch.reset()
+        assert watch.elapsed == 0.0 and not watch.running
+
+    def test_time_call_returns_result_and_seconds(self):
+        result, seconds = time_call(lambda x: x * 2, 21)
+        assert result == 42
+        assert seconds > 0.0
