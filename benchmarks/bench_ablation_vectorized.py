@@ -60,7 +60,19 @@ def bench_answers_agree(scalar_context, vector_context):
         assert scalar.high == pytest.approx(vector.high)
 
 
+#: Harness suite carrying this script's cases (``--harness`` runs it).
+HARNESS_SUITE = "kernels"
+
 if __name__ == "__main__":
+    import sys
+
+    if "--harness" in sys.argv:
+        from repro.bench.harness import main as harness_main
+
+        raise SystemExit(harness_main(
+            ["--suite", HARNESS_SUITE]
+            + [a for a in sys.argv[1:] if a != "--harness"]
+        ))
     from repro.bench.experiments import ablation_vectorized
 
     raise SystemExit(0 if ablation_vectorized() else 1)

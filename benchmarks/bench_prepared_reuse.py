@@ -112,11 +112,17 @@ def run(check: bool = True, json_path: str | None = None) -> bool:
         import json
         from pathlib import Path
 
+        from repro.bench import harness
+
         Path(json_path).write_text(json.dumps({
+            "schema_version": harness.SCHEMA_VERSION,
             "benchmark": "bench_prepared_reuse",
-            "num_tuples": NUM_TUPLES,
-            "num_attributes": NUM_ATTRIBUTES,
-            "num_mappings": NUM_MAPPINGS,
+            "environment": harness.fingerprint(),
+            "parameters": {
+                "num_tuples": NUM_TUPLES,
+                "num_attributes": NUM_ATTRIBUTES,
+                "num_mappings": NUM_MAPPINGS,
+            },
             "rows": rows,
             "passed": passed,
         }, indent=2) + "\n")
@@ -148,14 +154,29 @@ def bench_prepared_count_range_100(benchmark):
     )
 
 
+#: Harness suite carrying this script's cases (``--harness`` runs it).
+#: The committed ``BENCH_prepared_reuse.json`` baseline is this suite's
+#: harness document (refresh with ``--harness --update-baseline``); the
+#: script's own ``--json`` writes the full speedup table instead.
+HARNESS_SUITE = "prepared-reuse"
+
 if __name__ == "__main__":
     import argparse
+    import sys
 
+    if "--harness" in sys.argv:
+        from repro.bench.harness import main as harness_main
+
+        raise SystemExit(harness_main(
+            ["--suite", HARNESS_SUITE]
+            + [a for a in sys.argv[1:] if a != "--harness"]
+        ))
     _parser = argparse.ArgumentParser(description=__doc__)
     _parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="also write the timing table as JSON (the committed baseline "
-        "is BENCH_prepared_reuse.json)",
+        help="write the speedup table as schema-versioned JSON (the "
+        "committed BENCH_prepared_reuse.json baseline is the harness "
+        "document; refresh it with --harness --update-baseline)",
     )
     _args = _parser.parse_args()
     raise SystemExit(0 if run(json_path=_args.json) else 1)

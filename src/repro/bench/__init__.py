@@ -10,18 +10,42 @@
   figures' axes;
 * :mod:`repro.bench.experiments` — one driver per paper figure
   (:func:`~repro.bench.experiments.figure7` ... ``figure12``), each
-  printing the series it regenerates plus automated shape checks.
+  printing the series it regenerates plus automated shape checks;
+* :mod:`repro.bench.harness` — registered continuous-benchmark suites
+  with warmup, repeats, median/p95 statistics, and an environment
+  fingerprint, persisted as schema-versioned ``BENCH_<suite>.json``;
+* :mod:`repro.bench.regression` — per-row tolerance-band comparison of a
+  fresh harness run against a committed baseline (the CI perf gate).
 """
 
 from repro.bench.algorithms import ALGORITHM_NAMES, BenchContext, get_algorithm
-from repro.bench.runner import SweepResult, run_sweep
+from repro.bench.harness import (
+    BenchCase,
+    Suite,
+    get_suite,
+    register_suite,
+    run_suite,
+    suite_names,
+)
+from repro.bench.regression import RegressionReport, compare
+from repro.bench.runner import SweepResult, TimingStats, run_sweep, time_stats
 from repro.bench.reporting import format_sweep
 
 __all__ = [
     "ALGORITHM_NAMES",
+    "BenchCase",
     "BenchContext",
+    "RegressionReport",
+    "Suite",
     "SweepResult",
+    "TimingStats",
+    "compare",
     "format_sweep",
     "get_algorithm",
+    "get_suite",
+    "register_suite",
+    "run_suite",
     "run_sweep",
+    "suite_names",
+    "time_stats",
 ]

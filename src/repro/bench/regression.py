@@ -1,0 +1,193 @@
+"""Compare a fresh benchmark run against a committed baseline.
+
+The comparison is per case ("row"), on the **median**: a row regresses
+when its fresh median exceeds its tolerance band
+
+    ``baseline_median * factor + slack``
+
+where ``factor`` absorbs machine-to-machine and run-to-run variance and
+``slack`` (an absolute floor, seconds) keeps microsecond-scale rows from
+tripping the gate on scheduler jitter.  A baseline case may carry its own
+``"tolerance_factor"`` field to widen (or tighten) its band — the
+per-row override for known-noisy measurements.
+
+Two modes: **fail** (regressions exit non-zero — the CI gate on a
+machine comparable to the baseline's) and **warn** (report only — CI
+runners with unknown hardware).  Cases present in only one document are
+reported (``new`` / ``missing``) and ``missing`` counts as a failure in
+fail mode: a silently dropped benchmark is how coverage rots.
+
+Produced and consumed by ``scripts/bench_regression_check.py``; the
+document format is :mod:`repro.bench.harness`'s schema-versioned
+``BENCH_<suite>.json``.
+"""
+
+from __future__ import annotations
+
+#: Default multiplicative tolerance on the baseline median.
+DEFAULT_FACTOR = 2.5
+#: Default absolute slack in seconds added to every band.
+DEFAULT_SLACK = 0.005
+
+_FAILING = ("slower", "missing")
+
+
+class RowComparison:
+    """One case's baseline-vs-fresh verdict."""
+
+    __slots__ = ("name", "baseline", "current", "allowed", "status")
+
+    def __init__(
+        self,
+        name: str,
+        baseline: float | None,
+        current: float | None,
+        allowed: float | None,
+        status: str,
+    ) -> None:
+        self.name = name
+        self.baseline = baseline
+        self.current = current
+        self.allowed = allowed
+        self.status = status
+
+    @property
+    def ratio(self) -> float | None:
+        """current / baseline median, when both exist."""
+        if self.baseline and self.current is not None:
+            return self.current / self.baseline
+        return None
+
+    @property
+    def failing(self) -> bool:
+        return self.status in _FAILING
+
+    def __repr__(self) -> str:
+        return f"RowComparison({self.name!r}, {self.status})"
+
+
+class RegressionReport:
+    """Every row comparison of one suite, plus environment context."""
+
+    def __init__(
+        self,
+        suite: str,
+        rows: list[RowComparison],
+        *,
+        baseline_env: dict,
+        current_env: dict,
+    ) -> None:
+        self.suite = suite
+        self.rows = rows
+        self.baseline_env = baseline_env
+        self.current_env = current_env
+
+    def regressions(self) -> list[RowComparison]:
+        """The rows that fail the gate (slower or missing)."""
+        return [row for row in self.rows if row.failing]
+
+    def passed(self, mode: str = "fail") -> bool:
+        """True when the gate passes: always in warn mode, else no
+        regressions."""
+        if mode == "warn":
+            return True
+        return not self.regressions()
+
+    def environment_notes(self) -> list[str]:
+        """Baseline-vs-current environment differences worth flagging."""
+        notes = []
+        for key in ("python", "platform", "cpu_count", "git_sha"):
+            base = self.baseline_env.get(key)
+            here = self.current_env.get(key)
+            if base != here:
+                notes.append(f"{key}: baseline {base!r} vs current {here!r}")
+        return notes
+
+    def render_text(self) -> str:
+        """A fixed-width report: one row per case, then the verdict."""
+        width = max([len(row.name) for row in self.rows] + [4])
+        header = (
+            f"{'case':<{width}}{'baseline ms':>13}{'current ms':>13}"
+            f"{'ratio':>8}{'allowed ms':>13}  status"
+        )
+        lines = [f"regression check: suite {self.suite}", header,
+                 "-" * len(header)]
+
+        def ms(value: float | None) -> str:
+            return "-" if value is None else f"{value * 1e3:.3f}"
+
+        for row in self.rows:
+            ratio = "-" if row.ratio is None else f"{row.ratio:.2f}x"
+            lines.append(
+                f"{row.name:<{width}}{ms(row.baseline):>13}"
+                f"{ms(row.current):>13}{ratio:>8}{ms(row.allowed):>13}"
+                f"  {row.status}"
+            )
+        notes = self.environment_notes()
+        if notes:
+            lines.append("environment differs from baseline:")
+            lines.extend(f"  {note}" for note in notes)
+        bad = self.regressions()
+        if bad:
+            lines.append(
+                f"{len(bad)} of {len(self.rows)} case(s) regressed: "
+                + ", ".join(row.name for row in bad)
+            )
+        else:
+            lines.append(f"all {len(self.rows)} case(s) within tolerance")
+        return "\n".join(lines)
+
+
+def _medians(document: dict) -> dict[str, dict]:
+    return {case["name"]: case for case in document.get("cases", [])}
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    *,
+    factor: float = DEFAULT_FACTOR,
+    slack: float = DEFAULT_SLACK,
+) -> RegressionReport:
+    """Diff two harness documents row by row.
+
+    ``baseline`` and ``current`` are :func:`repro.bench.harness.load_result`
+    documents of the same suite (a mismatch raises ``ValueError``).
+    """
+    if baseline.get("suite") != current.get("suite"):
+        raise ValueError(
+            f"suite mismatch: baseline {baseline.get('suite')!r} vs "
+            f"current {current.get('suite')!r}"
+        )
+    base_cases = _medians(baseline)
+    fresh_cases = _medians(current)
+    rows: list[RowComparison] = []
+    for name, base in base_cases.items():
+        base_median = base["seconds"]["median"]
+        row_factor = base.get("tolerance_factor", factor)
+        allowed = base_median * row_factor + slack
+        fresh = fresh_cases.get(name)
+        if fresh is None:
+            rows.append(RowComparison(name, base_median, None, allowed,
+                                      "missing"))
+            continue
+        fresh_median = fresh["seconds"]["median"]
+        status = "ok" if fresh_median <= allowed else "slower"
+        if status == "ok" and base_median > 0 and \
+                fresh_median < base_median / row_factor:
+            status = "faster"
+        rows.append(
+            RowComparison(name, base_median, fresh_median, allowed, status)
+        )
+    for name, fresh in fresh_cases.items():
+        if name not in base_cases:
+            rows.append(
+                RowComparison(name, None, fresh["seconds"]["median"], None,
+                              "new")
+            )
+    return RegressionReport(
+        baseline.get("suite", "?"),
+        rows,
+        baseline_env=baseline.get("environment", {}),
+        current_env=current.get("environment", {}),
+    )

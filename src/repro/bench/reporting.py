@@ -5,6 +5,10 @@ harness prints the same series as a fixed-width table and then runs
 *shape checks* — the qualitative claims a reproduction should preserve
 (who blows up, who stays flat, who grows how fast) — reporting PASS/FAIL
 for each.
+
+Every cell a check reads is the *median* of the cell's timed repeats
+(:func:`repro.bench.runner.time_stats`), not a best-of minimum, so the
+checks judge typical behaviour rather than the luckiest run.
 """
 
 from __future__ import annotations

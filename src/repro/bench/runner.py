@@ -10,16 +10,37 @@ auctions") without making the harness take ten days.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
+from typing import NamedTuple
 
 from repro.bench.algorithms import BenchContext, get_algorithm
-from repro.obs.timers import time_call
+from repro.obs.metrics import percentile
+from repro.obs.timers import Stopwatch, time_call
+
+
+class TimingStats(NamedTuple):
+    """Statistics over the timed repetitions of one benchmark cell.
+
+    The *median* is the headline number — robust to scheduler noise in
+    both directions, unlike the best-of minimum (optimistic bias: it
+    reports the one run that dodged every interrupt) or the mean
+    (pessimistic bias: one descheduled run drags it).
+    """
+
+    min: float
+    median: float
+    p95: float
+
+    def to_dict(self) -> dict:
+        return {"min": self.min, "median": self.median, "p95": self.p95}
 
 
 class SweepResult:
     """Timings of one sweep: ``seconds[algorithm][i]`` aligns with ``xs``.
 
-    A cell holds seconds, or ``None`` when the run was skipped because the
-    algorithm blew its budget at a smaller size.
+    A cell holds the *median* seconds over the cell's timed repeats, or
+    ``None`` when the run was skipped because the algorithm blew its
+    budget at a smaller size.  When the sweep timed more than one repeat,
+    ``stats[algorithm][i]`` keeps the full ``{min, median, p95}`` dict.
     """
 
     def __init__(
@@ -27,13 +48,15 @@ class SweepResult:
         x_label: str,
         xs: Sequence[object],
         seconds: dict[str, list[float | None]],
+        stats: dict[str, list[dict | None]] | None = None,
     ) -> None:
         self.x_label = x_label
         self.xs = list(xs)
         self.seconds = seconds
+        self.stats = stats
 
     def series(self, algorithm: str) -> list[tuple[object, float | None]]:
-        """The (x, seconds) series of one algorithm."""
+        """The (x, median seconds) series of one algorithm."""
         return list(zip(self.xs, self.seconds[algorithm]))
 
     def last_defined(self, algorithm: str) -> float | None:
@@ -45,11 +68,16 @@ class SweepResult:
 
     def to_dict(self) -> dict:
         """A JSON-ready form of the sweep (for plotting outside Python)."""
-        return {
+        data = {
             "x_label": self.x_label,
             "xs": list(self.xs),
             "seconds": {name: list(series) for name, series in self.seconds.items()},
         }
+        if self.stats is not None:
+            data["stats"] = {
+                name: list(series) for name, series in self.stats.items()
+            }
+        return data
 
     def save_json(self, path) -> None:
         """Write :meth:`to_dict` to ``path`` as indented JSON."""
@@ -61,7 +89,12 @@ class SweepResult:
     @classmethod
     def from_dict(cls, data: dict) -> "SweepResult":
         """Rebuild a sweep result saved by :meth:`save_json`."""
-        return cls(data["x_label"], data["xs"], dict(data["seconds"]))
+        return cls(
+            data["x_label"],
+            data["xs"],
+            dict(data["seconds"]),
+            stats=dict(data["stats"]) if "stats" in data else None,
+        )
 
 
 def time_once(fn: Callable[[], object]) -> float:
@@ -70,10 +103,29 @@ def time_once(fn: Callable[[], object]) -> float:
     return seconds
 
 
-def time_best(fn: Callable[[], object], repeats: int) -> float:
-    """Best-of-``repeats`` wall-clock seconds (paper: averages of runs; we
-    take the minimum, the standard low-noise estimator)."""
-    return min(time_once(fn) for _ in range(max(1, repeats)))
+def time_stats(
+    fn: Callable[[], object], repeats: int, *, warmup: int = 1
+) -> TimingStats:
+    """Warmup then time ``repeats`` calls; ``(min, median, p95)`` seconds.
+
+    Replaces the old best-of estimator: ``warmup`` untimed calls absorb
+    cold caches and lazy imports, then each timed call runs under one
+    :class:`~repro.obs.timers.Stopwatch` and the distribution is
+    summarized instead of cherry-picking the fastest run.
+    """
+    for _ in range(max(0, warmup)):
+        fn()
+    durations: list[float] = []
+    for _ in range(max(1, repeats)):
+        watch = Stopwatch()
+        with watch:
+            fn()
+        durations.append(watch.elapsed)
+    return TimingStats(
+        min(durations),
+        percentile(durations, 50.0),
+        percentile(durations, 95.0),
+    )
 
 
 def run_sweep(
@@ -84,6 +136,7 @@ def run_sweep(
     *,
     timeout: float = 30.0,
     repeats: int = 1,
+    warmup: int = 0,
     verbose: bool = True,
 ) -> SweepResult:
     """Time every algorithm at every grid point.
@@ -101,10 +154,16 @@ def run_sweep(
         Once an algorithm's run exceeds this many seconds, it is skipped at
         every larger grid point (recorded as ``None``).
     repeats:
-        Timing repetitions per cell (best is kept).
+        Timing repetitions per cell; the recorded value is the *median*.
+    warmup:
+        Untimed calls before the timed repeats.  Defaults to 0 because the
+        figure sweeps include exponential algorithms whose single run is
+        already the budget; the suite harness
+        (:mod:`repro.bench.harness`) always warms up.
     """
     names = list(algorithms)
     seconds: dict[str, list[float | None]] = {name: [] for name in names}
+    stats: dict[str, list[dict | None]] = {name: [] for name in names}
     exhausted: set[str] = set()
     for x in xs:
         context = make_context(x)
@@ -112,21 +171,26 @@ def run_sweep(
             for name in names:
                 if name in exhausted:
                     seconds[name].append(None)
+                    stats[name].append(None)
                     continue
                 runner = get_algorithm(name)
                 try:
-                    elapsed = time_best(lambda: runner(context), repeats)
+                    timed = time_stats(
+                        lambda: runner(context), repeats, warmup=warmup
+                    )
                 except Exception as error:  # budget guards raise EvaluationError
                     if verbose:
                         print(f"  {x_label}={x} {name}: skipped ({error})")
                     exhausted.add(name)
                     seconds[name].append(None)
+                    stats[name].append(None)
                     continue
-                seconds[name].append(elapsed)
+                seconds[name].append(timed.median)
+                stats[name].append(timed.to_dict())
                 if verbose:
-                    print(f"  {x_label}={x} {name}: {elapsed:.4f}s")
-                if elapsed > timeout:
+                    print(f"  {x_label}={x} {name}: {timed.median:.4f}s")
+                if timed.median > timeout:
                     exhausted.add(name)
         finally:
             context.close()
-    return SweepResult(x_label, xs, seconds)
+    return SweepResult(x_label, xs, seconds, stats=stats)

@@ -23,6 +23,12 @@ any semantics cell::
 fallback chain) without executing; ``--explain-analyze`` executes and
 attaches per-span wall-clock timings and the run's metric deltas (combine
 with ``--repeat N`` to watch the plan cache convert misses into hits).
+
+Two performance subcommands round out the observability tooling::
+
+    repro-bench profile --query "SELECT COUNT(*) FROM T" \\
+        --msem by-tuple --asem distribution   # flat per-span profile
+    repro-bench bench --suite quick           # registered benchmark suites
 """
 
 from __future__ import annotations
@@ -254,10 +260,79 @@ def _print_explain_analyze(report: dict) -> None:
     print("metrics:")
     for name, value in report["metrics"].items():
         if isinstance(value, dict):
-            rendered = " ".join(f"{k}=+{v:g}" for k, v in value.items())
+            # count/sum are run deltas (+); percentiles are absolute
+            # snapshots of the distribution, so they render without one.
+            rendered = " ".join(
+                f"{k}={v:g}" if k in ("p50", "p95", "p99") else f"{k}=+{v:g}"
+                for k, v in value.items()
+            )
             print(f"  {name} {rendered}")
         else:
             print(f"  {name} +{value:g}")
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: a flat per-span profile of a query.
+
+    With ``--data``/``--mapping`` it profiles the query over real inputs;
+    without them it generates a synthetic workload whose mediated relation
+    takes its name from the query's FROM clause, so
+
+        repro-bench profile --query "SELECT COUNT(*) FROM T" \\
+            --msem by-tuple --asem distribution
+
+    works with no files on disk.
+    """
+    from repro.core.engine import AggregationEngine
+    from repro.exceptions import ReproError
+
+    if (args.data is None) != (args.mapping is None):
+        print(
+            "error: --data and --mapping go together (omit both for a "
+            "synthetic workload)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.data is not None:
+            from repro.schema.serialize import load_pmapping
+            from repro.storage.csv_io import load_table_csv
+
+            pmapping = load_pmapping(args.mapping)
+            table = load_table_csv(pmapping.source, args.data)
+        else:
+            from repro.data import synthetic
+            from repro.sql.parser import parse_query
+
+            target = synthetic.mediated_relation(
+                parse_query(args.query).source.name
+            )
+            source = synthetic.source_relation(args.attributes)
+            table = synthetic.generate_source_table(
+                args.tuples, args.attributes, seed=args.seed, relation=source
+            )
+            pmapping = synthetic.generate_pmapping(
+                source, args.mappings, seed=args.seed, target=target
+            )
+        engine = AggregationEngine(
+            [table],
+            pmapping,
+            allow_exponential=args.allow_exponential,
+            allow_sampling=args.samples is not None,
+        )
+        with engine:
+            profile = engine.profile(
+                args.query,
+                args.mapping_semantics,
+                args.aggregate_semantics,
+                repeat=args.repeat,
+                samples=args.samples,
+            )
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(profile.render_json() if args.json else profile.render_text())
+    return 0
 
 
 def _run_query(args: argparse.Namespace) -> int:
@@ -347,6 +422,14 @@ def _run_query(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # Forward ``bench`` before argparse sees the rest: REMAINDER will not
+    # capture a leading option such as ``--list``.
+    if argv and argv[0] == "bench":
+        from repro.bench import harness
+
+        return harness.main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the tables and figures of 'Aggregate Query "
@@ -406,6 +489,64 @@ def main(argv: list[str] | None = None) -> int:
         help="single-pass streaming evaluation (by-tuple, flat queries; "
         "the CSV is never materialized, so it may exceed RAM)",
     )
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="flat per-span profile (calls, cumulative/self time, p50/p95, "
+        "critical path) of a query execution",
+    )
+    profile_parser.add_argument("--query", required=True,
+                                help="aggregate SQL over the target schema")
+    profile_parser.add_argument(
+        "--mapping-semantics", "--msem", dest="mapping_semantics",
+        default="by-table", choices=["by-table", "by-tuple"],
+    )
+    profile_parser.add_argument(
+        "--aggregate-semantics", "--asem", dest="aggregate_semantics",
+        default="distribution",
+        choices=["range", "distribution", "expected-value"],
+    )
+    profile_parser.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="execute the query N times and aggregate all runs (default: 3)",
+    )
+    profile_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the profile as JSON instead of the text table",
+    )
+    profile_parser.add_argument("--data", default=None,
+                                help="CSV file of the source relation")
+    profile_parser.add_argument(
+        "--mapping", default=None,
+        help="JSON p-mapping (omit both --data and --mapping to profile "
+        "over a generated synthetic workload)",
+    )
+    profile_parser.add_argument(
+        "--tuples", type=int, default=500,
+        help="synthetic workload: source table size (default: 500)",
+    )
+    profile_parser.add_argument(
+        "--attributes", type=int, default=8,
+        help="synthetic workload: source attribute count (default: 8)",
+    )
+    profile_parser.add_argument(
+        "--mappings", type=int, default=5,
+        help="synthetic workload: candidate mapping count (default: 5)",
+    )
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument("--allow-exponential", action="store_true")
+    profile_parser.add_argument("--samples", type=int, default=None,
+                                help="use Monte-Carlo sampling with N samples")
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run a registered continuous-benchmark suite "
+        "(repro-bench bench --list; see repro.bench.harness)",
+    )
+    bench_parser.add_argument(
+        "harness_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.bench.harness "
+        "(--suite NAME, --list, --warmup, --repeats, --case, --json, "
+        "--update-baseline)",
+    )
     match_parser = subparsers.add_parser(
         "match",
         help="match two CSVs automatically and emit a JSON p-mapping",
@@ -434,6 +575,8 @@ def main(argv: list[str] | None = None) -> int:
     passed = True
     if args.command == "query":
         return _run_query(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "match":
         return _run_match(args)
     if args.command == "table3":

@@ -50,6 +50,7 @@ Nested queries (a subquery in FROM, the paper's Q2 shape) are supported:
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core import bytable
 from repro.core.answers import AggregateAnswer
@@ -70,6 +71,9 @@ from repro.sql.ast import AggregateQuery
 from repro.sql.parser import parse_query
 from repro.storage.sqlite_backend import SQLiteBackend
 from repro.storage.table import Table
+
+if TYPE_CHECKING:
+    from repro.obs.profile import Profile
 
 
 class AggregationEngine:
@@ -342,6 +346,55 @@ class AggregationEngine:
             "spans": [root.to_dict() for root in sink.roots],
             "metrics": deltas,
         }
+
+    def profile(
+        self,
+        query: str | AggregateQuery,
+        mapping_semantics: MappingSemantics | str,
+        aggregate_semantics: AggregateSemantics | str,
+        *,
+        repeat: int = 1,
+        samples: int | None = None,
+        seed: int | None = None,
+        max_sequences: int | None = None,
+    ) -> "Profile":
+        """A flat profile of ``repeat`` executions of one semantics cell.
+
+        Runs the query under a temporary in-memory trace sink (replacing
+        any installed sink for the duration, like :meth:`explain_analyze`)
+        and aggregates the recorded span trees with
+        :func:`repro.obs.profile.build_profile`: per span name the call
+        count, cumulative and *self* time, and p50/p95 of per-call
+        durations, plus the critical path of the slowest execution.  The
+        self-time column partitions the recorded root time exactly, so it
+        answers "where did the time go" with no remainder.
+        """
+        from repro.obs.profile import build_profile
+
+        self.context.ensure_open()
+        if repeat < 1:
+            raise EvaluationError("repeat must be >= 1")
+        sink = trace.InMemorySink(capacity=max(repeat, 256))
+        with trace.use_sink(sink):
+            for _ in range(repeat):
+                self.answer(
+                    query,
+                    mapping_semantics,
+                    aggregate_semantics,
+                    samples=samples,
+                    seed=seed,
+                    max_sequences=max_sequences,
+                )
+        plan = self.plan(query, mapping_semantics, aggregate_semantics)
+        return build_profile(
+            sink.roots,
+            metadata={
+                "query": plan.compiled.text,
+                "mapping_semantics": plan.mapping_semantics.value,
+                "aggregate_semantics": plan.aggregate_semantics.value,
+                "executions": repeat,
+            },
+        )
 
     def metrics_snapshot(self) -> dict:
         """The per-engine metric state (see ``docs/observability.md``)."""

@@ -8,15 +8,19 @@ per tuple.
 * :mod:`repro.obs.trace` — nestable wall-clock spans with pluggable sinks
   (in-memory ring buffer, JSONL file).
 * :mod:`repro.obs.metrics` — a process-wide registry of counters, gauges,
-  and histograms, with chained per-engine child registries.
+  and histograms (with reservoir p50/p95/p99), with chained per-engine
+  child registries.
 * :mod:`repro.obs.timers` — the shared :class:`~repro.obs.timers.Stopwatch`
   behind the CLI, the benchmark harness, and ``EXPLAIN ANALYZE``.
+* :mod:`repro.obs.profile` — flat profiles (calls, cumulative, *self*
+  time, percentiles, critical path) aggregated from recorded span trees.
 
 See ``docs/observability.md`` for the span and metric catalogs.
 """
 
 from repro.obs import metrics, trace
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.profile import Profile, build_profile
 from repro.obs.timers import Stopwatch, time_call
 from repro.obs.trace import (
     InMemorySink,
@@ -33,11 +37,14 @@ __all__ = [
     "InMemorySink",
     "JSONLSink",
     "MetricsRegistry",
+    "Profile",
     "Span",
     "Stopwatch",
     "add_attribute",
+    "build_profile",
     "install_sink",
     "metrics",
+    "percentile",
     "span",
     "time_call",
     "trace",

@@ -18,6 +18,24 @@ from __future__ import annotations
 
 import json
 import math
+import random
+from collections.abc import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    ``values`` need not be sorted; raises ``ValueError`` when empty.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (rank - low)
 
 
 class Counter:
@@ -45,15 +63,27 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary of observed values: count, sum, min, max, mean."""
+    """Streaming summary of observed values: count, sum, min, max, mean,
+    and reservoir-estimated p50/p95/p99.
 
-    __slots__ = ("count", "total", "min", "max")
+    The percentiles come from a bounded reservoir (Vitter's Algorithm R,
+    ``RESERVOIR_SIZE`` values, stdlib ``random`` with a fixed per-instance
+    seed so summaries are reproducible): exact until the reservoir fills,
+    a uniform sample of the stream after.  Memory stays O(1) per
+    histogram regardless of observation count.
+    """
+
+    RESERVOIR_SIZE = 512
+
+    __slots__ = ("count", "total", "min", "max", "_reservoir", "_rng")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._reservoir: list[float] = []
+        self._rng = random.Random(0x0B5)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -62,6 +92,16 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if len(self._reservoir) < self.RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._reservoir[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """The reservoir-estimated ``q``-th percentile (0-100)."""
+        return percentile(self._reservoir, q)
 
     def summary(self) -> dict:
         """A JSON-ready summary (empty histogram: all-zero, no min/max)."""
@@ -73,6 +113,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.total / self.count,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
         }
 
 
@@ -166,8 +209,10 @@ def delta(before: dict, after: dict) -> dict:
     """The metrics that changed between two snapshots.
 
     Counters and gauges diff numerically; histograms diff their ``count``
-    and ``sum`` fields.  Metrics absent from ``before`` count from zero;
-    unchanged metrics are omitted.
+    and ``sum`` fields and carry the ``after`` percentiles (p50/p95/p99
+    are not differences — they describe the distribution as of the second
+    snapshot).  Metrics absent from ``before`` count from zero; unchanged
+    metrics are omitted.
     """
     changed: dict[str, object] = {}
     for name, value in after.items():
@@ -175,10 +220,14 @@ def delta(before: dict, after: dict) -> dict:
         if isinstance(value, dict):
             prior = prior or {"count": 0, "sum": 0.0}
             if value.get("count", 0) != prior.get("count", 0):
-                changed[name] = {
+                entry = {
                     "count": value.get("count", 0) - prior.get("count", 0),
                     "sum": value.get("sum", 0.0) - prior.get("sum", 0.0),
                 }
+                for key in ("p50", "p95", "p99"):
+                    if key in value:
+                        entry[key] = value[key]
+                changed[name] = entry
         else:
             diff = value - (prior or 0)
             if diff != 0:

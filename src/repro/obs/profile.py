@@ -1,0 +1,199 @@
+"""Flat profiles aggregated from recorded span trees.
+
+A trace sink captures *trees* — one root span per ``answer()`` call with
+the pipeline stages nested below it.  This module turns a batch of trees
+into the gprof-style flat view a performance investigation actually
+starts from: per span name, how many times it ran, its **cumulative**
+time (with children), its **self** time (cumulative minus its children's
+cumulative — the time attributable to that stage's own code), and the
+p50/p95 of its per-call durations.  Because self time partitions each
+root exactly, the self-time column always sums to the total recorded
+root time — "where did the time go" has a complete answer.
+
+The slowest root's **critical path** (the chain of slowest children from
+the root down) is reported alongside, pointing at the stage to optimize
+first.
+
+Entry points:
+
+* :func:`build_profile` — aggregate a list of root :class:`~repro.obs.trace.Span`
+  trees (e.g. ``InMemorySink.roots``);
+* :meth:`AggregationEngine.profile(query, msem, asem, repeat=N) <repro.core.engine.AggregationEngine.profile>`
+  — run a query under a temporary sink and profile it;
+* the CLI ``profile`` subcommand (``repro-bench profile --query ...``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from repro.obs.metrics import percentile
+from repro.obs.trace import Span
+
+
+class ProfileRow:
+    """Aggregated statistics of every span sharing one name."""
+
+    __slots__ = ("name", "calls", "cumulative", "self_seconds", "durations")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.cumulative = 0.0
+        self.self_seconds = 0.0
+        #: Per-call cumulative durations (for the percentiles).
+        self.durations: list[float] = []
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.durations, 50.0)
+
+    @property
+    def p95(self) -> float:
+        return percentile(self.durations, 95.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "cumulative_seconds": self.cumulative,
+            "self_seconds": self.self_seconds,
+            "p50_seconds": self.p50,
+            "p95_seconds": self.p95,
+        }
+
+
+class Profile:
+    """A flat profile over a batch of root span trees.
+
+    ``rows`` are sorted by self time, descending — the gprof convention:
+    the top row is where the most non-delegated time went.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(
+        self,
+        rows: list[ProfileRow],
+        *,
+        total_seconds: float,
+        root_count: int,
+        critical_path: list[tuple[str, float]],
+        metadata: dict | None = None,
+    ) -> None:
+        self.rows = sorted(
+            rows, key=lambda row: row.self_seconds, reverse=True
+        )
+        self.total_seconds = total_seconds
+        self.root_count = root_count
+        self.critical_path = critical_path
+        self.metadata = dict(metadata or {})
+
+    def row(self, name: str) -> ProfileRow:
+        """The row for one span name (``KeyError`` when absent)."""
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+    @property
+    def self_total(self) -> float:
+        """Summed self time; equals ``total_seconds`` up to float error."""
+        return sum(row.self_seconds for row in self.rows)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready form of the whole profile."""
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "total_seconds": self.total_seconds,
+            "root_count": self.root_count,
+            "rows": [row.to_dict() for row in self.rows],
+            "critical_path": [
+                {"name": name, "seconds": seconds}
+                for name, seconds in self.critical_path
+            ],
+            "metadata": dict(self.metadata),
+        }
+
+    def render_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self) -> str:
+        """The flat-profile table plus the critical path, as fixed-width text."""
+        width = max([len(row.name) for row in self.rows] + [4])
+        lines = [
+            f"flat profile: {self.root_count} root span(s), "
+            f"{self.total_seconds * 1e3:.3f} ms total"
+        ]
+        header = (
+            f"{'span':<{width}}{'calls':>8}{'cum ms':>12}{'self ms':>12}"
+            f"{'self %':>8}{'p50 ms':>10}{'p95 ms':>10}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        total = self.total_seconds or 1.0
+        for row in self.rows:
+            lines.append(
+                f"{row.name:<{width}}{row.calls:>8}"
+                f"{row.cumulative * 1e3:>12.3f}"
+                f"{row.self_seconds * 1e3:>12.3f}"
+                f"{row.self_seconds / total * 100:>7.1f}%"
+                f"{row.p50 * 1e3:>10.3f}{row.p95 * 1e3:>10.3f}"
+            )
+        if self.critical_path:
+            lines.append("")
+            lines.append("critical path (slowest root):")
+            for depth, (name, seconds) in enumerate(self.critical_path):
+                pad = "  " * depth
+                lines.append(f"  {pad}{name}: {seconds * 1e3:.3f} ms")
+        return "\n".join(lines)
+
+
+def self_seconds(span: Span) -> float:
+    """The span's own time: cumulative minus its children's cumulative.
+
+    Clamped at zero — a child recorded as marginally longer than its
+    parent (timer granularity) must not produce negative self time.
+    """
+    return max(0.0, span.seconds - sum(c.seconds for c in span.children))
+
+
+def critical_path(root: Span) -> list[tuple[str, float]]:
+    """The chain of slowest children from ``root`` down to a leaf."""
+    path: list[tuple[str, float]] = []
+    node: Span | None = root
+    while node is not None:
+        path.append((node.name, node.seconds))
+        node = max(node.children, key=lambda c: c.seconds, default=None)
+    return path
+
+
+def build_profile(
+    roots: Iterable[Span], *, metadata: dict | None = None
+) -> Profile:
+    """Aggregate root span trees into a :class:`Profile`.
+
+    Every span in every tree contributes to the row of its name; the
+    critical path is taken from the slowest root.  An empty batch yields
+    an empty profile (no rows, zero total).
+    """
+    roots = list(roots)
+    rows: dict[str, ProfileRow] = {}
+    for root in roots:
+        for node in root.walk():
+            row = rows.get(node.name)
+            if row is None:
+                row = rows[node.name] = ProfileRow(node.name)
+            row.calls += 1
+            row.cumulative += node.seconds
+            row.self_seconds += self_seconds(node)
+            row.durations.append(node.seconds)
+    slowest = max(roots, key=lambda r: r.seconds, default=None)
+    return Profile(
+        list(rows.values()),
+        total_seconds=sum(root.seconds for root in roots),
+        root_count=len(roots),
+        critical_path=critical_path(slowest) if slowest is not None else [],
+        metadata=metadata,
+    )

@@ -221,17 +221,20 @@ class DiscreteDistribution:
     def approx_equal(
         self, other: "DiscreteDistribution", tolerance: float = 1e-9
     ) -> bool:
-        """True when both supports match and probabilities agree pointwise.
+        """True when probabilities agree pointwise within ``tolerance``.
 
         Support values are compared exactly; use this only when both sides
         were computed from the same underlying values (e.g. a PTIME
-        algorithm versus the naive enumeration on identical data).
+        algorithm versus the naive enumeration on identical data).  A
+        value present on only one side counts as probability zero on the
+        other: complementary-probability arithmetic (``1 - sum(p_i)``)
+        can leave a residual outcome of ~1e-16 mass on one side, and such
+        a residue must not distinguish otherwise-equal distributions.
         """
-        if set(self._outcomes) != set(other._outcomes):
-            return False
         return all(
-            abs(p - other._outcomes[v]) <= tolerance
-            for v, p in self._outcomes.items()
+            abs(self._outcomes.get(v, 0.0) - other._outcomes.get(v, 0.0))
+            <= tolerance
+            for v in set(self._outcomes) | set(other._outcomes)
         )
 
     def __eq__(self, other: object) -> bool:

@@ -14,7 +14,7 @@ from repro.bench.reporting import (
     check_stays_fast,
     format_sweep,
 )
-from repro.bench.runner import SweepResult, run_sweep, time_best, time_once
+from repro.bench.runner import SweepResult, TimingStats, run_sweep, time_once, time_stats
 from repro.data import synthetic
 from repro.exceptions import EvaluationError
 
@@ -77,9 +77,19 @@ class TestRunner:
     def test_time_once_positive(self):
         assert time_once(lambda: sum(range(100))) >= 0.0
 
-    def test_time_best_takes_minimum(self):
-        times = iter([0.0, 0.0])
-        assert time_best(lambda: next(times, None), repeats=2) >= 0.0
+    def test_time_stats_orders_min_median_p95(self):
+        stats = time_stats(lambda: sum(range(200)), repeats=5, warmup=1)
+        assert isinstance(stats, TimingStats)
+        assert 0.0 <= stats.min <= stats.median <= stats.p95
+        assert stats.to_dict() == {
+            "min": stats.min, "median": stats.median, "p95": stats.p95,
+        }
+
+    def test_time_stats_counts_calls(self):
+        calls = []
+        time_stats(lambda: calls.append(1), repeats=3, warmup=2)
+        # warmup calls run untimed before the timed repeats
+        assert len(calls) == 5
 
     def test_sweep_records_all_points(self):
         def make_context(n):
@@ -100,6 +110,10 @@ class TestRunner:
             for series in result.seconds.values()
             for value in series
         )
+        # The sweep keeps the full per-cell distribution alongside the
+        # median the figures plot.
+        for cell in result.stats["ByTupleRangeCOUNT"]:
+            assert cell["min"] <= cell["median"] <= cell["p95"]
 
     def test_sweep_skips_after_timeout(self):
         def make_context(n):

@@ -132,6 +132,20 @@ class TestSinks:
         assert first["children"][0]["name"] == "child"
         assert second["name"] == "second"
 
+    def test_jsonl_sink_reopen_appends(self, tmp_path):
+        # The sink opens its file in append mode: a second session writes
+        # after the first session's roots instead of truncating them.
+        path = tmp_path / "trace.jsonl"
+        with JSONLSink(path) as sink, use_sink(sink):
+            with trace.span("session_one"):
+                pass
+        with JSONLSink(path) as sink, use_sink(sink):
+            with trace.span("session_two"):
+                pass
+        names = [json.loads(line)["name"] for line in
+                 path.read_text().splitlines()]
+        assert names == ["session_one", "session_two"]
+
 
 class TestMetricsRegistry:
     def test_counter_gauge_histogram(self):
@@ -145,9 +159,17 @@ class TestMetricsRegistry:
         snap = registry.snapshot()
         assert snap["hits"] == 5
         assert snap["depth"] == 3.0
-        assert snap["width"] == {
-            "count": 3, "sum": 9.0, "min": 1.0, "max": 5.0, "mean": 3.0,
-        }
+        width = snap["width"]
+        assert width["count"] == 3
+        assert width["sum"] == 9.0
+        assert width["min"] == 1.0
+        assert width["max"] == 5.0
+        assert width["mean"] == 3.0
+        # Three observations fit the reservoir, so percentiles are exact:
+        # sorted [1, 3, 5] interpolated at ranks 1.9 and 1.98.
+        assert width["p50"] == 3.0
+        assert width["p95"] == pytest.approx(4.8)
+        assert width["p99"] == pytest.approx(4.96)
         assert list(snap) == sorted(snap)
 
     def test_empty_histogram_summary(self):
@@ -195,6 +217,61 @@ class TestMetricsRegistry:
             "newh": {"count": 2, "sum": 5.0},
         }
         assert metrics.delta(after, after) == {}
+
+    def test_delta_carries_after_percentiles(self):
+        # count/sum diff numerically; p50/p95/p99 are not differences —
+        # the delta carries the ``after`` snapshot's values verbatim.
+        before = {"h": {"count": 1, "sum": 2.0, "p50": 2.0}}
+        after = {
+            "h": {"count": 4, "sum": 10.0, "p50": 2.5, "p95": 4.7, "p99": 4.9}
+        }
+        assert metrics.delta(before, after) == {
+            "h": {"count": 3, "sum": 8.0, "p50": 2.5, "p95": 4.7, "p99": 4.9}
+        }
+
+    def test_delta_histogram_only_in_after(self):
+        after = {"h": {"count": 2, "sum": 3.0, "p50": 1.5}}
+        diff = metrics.delta({}, after)
+        assert diff["h"]["count"] == 2
+        assert diff["h"]["sum"] == 3.0
+        assert diff["h"]["p50"] == 1.5
+
+    def test_delta_suppresses_unchanged_histogram(self):
+        # Same count on both sides: the histogram saw no new observations
+        # between the snapshots, so it is omitted even though the summary
+        # dicts carry percentile noise.
+        before = {"h": {"count": 2, "sum": 3.0, "p50": 1.5}}
+        after = {"h": {"count": 2, "sum": 3.0, "p50": 1.5}, "g": 0.0}
+        assert metrics.delta(before, after) == {}
+
+    def test_percentile_interpolates(self):
+        assert metrics.percentile([4.0, 1.0, 3.0, 2.0], 50.0) == 2.5
+        assert metrics.percentile([1.0], 95.0) == 1.0
+        assert metrics.percentile([1.0, 2.0], 0.0) == 1.0
+        assert metrics.percentile([1.0, 2.0], 100.0) == 2.0
+        with pytest.raises(ValueError):
+            metrics.percentile([], 50.0)
+
+    def test_histogram_reservoir_stays_bounded(self):
+        histogram = metrics.Histogram()
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert histogram.count == 10_000
+        assert len(histogram._reservoir) == metrics.Histogram.RESERVOIR_SIZE
+        summary = histogram.summary()
+        # The reservoir is a uniform sample, so the estimates live well
+        # inside the observed range and keep their order.
+        assert 0.0 <= summary["p50"] <= 9999.0
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["min"] == 0.0
+        assert summary["max"] == 9999.0
+
+    def test_histogram_percentiles_deterministic(self):
+        first, second = metrics.Histogram(), metrics.Histogram()
+        for value in range(5000):
+            first.observe(float(value % 997))
+            second.observe(float(value % 997))
+        assert first.summary() == second.summary()
 
     def test_renderers(self):
         registry = MetricsRegistry()

@@ -147,6 +147,15 @@ class TestEquality:
         b = DiscreteDistribution({2: 1.0})
         assert not a.approx_equal(b)
 
+    def test_approx_equal_ignores_residual_mass(self):
+        # 1 - sum(p_i) can leave ~1e-16 on an outcome one side never
+        # produced; mass below the tolerance must not split supports.
+        a = DiscreteDistribution({0: 1.11e-16, 1: 1.0}, check=False)
+        b = DiscreteDistribution({1: 1.0})
+        assert a.approx_equal(b, 1e-9)
+        assert b.approx_equal(a, 1e-9)
+        assert not a.approx_equal(DiscreteDistribution({0: 0.5, 1: 0.5}))
+
 
 @st.composite
 def distributions(draw):

@@ -1,0 +1,184 @@
+"""Flat span profiles: self time, critical path, renderers, CLI.
+
+:func:`repro.obs.profile.build_profile` is covered on hand-made span
+trees (exact arithmetic); :meth:`AggregationEngine.profile` and the CLI
+``profile`` subcommand on a real answering run, including the
+acceptance property that summed self time accounts for the recorded
+root time.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.core.engine import AggregationEngine
+from repro.data import synthetic
+from repro.exceptions import EvaluationError
+from repro.obs.profile import build_profile, critical_path, self_seconds
+from repro.obs.trace import Span
+from repro.sql.ast import AggregateOp
+
+
+def make_span(name, start, end, children=()):
+    span = Span(name, {})
+    span.start = start
+    span.end = end
+    span.children = list(children)
+    return span
+
+
+def sample_tree():
+    """root [0,10] -> a [0,6] (grand [1,3]), b [6,9]."""
+    grand = make_span("grand", 1.0, 3.0)
+    a = make_span("a", 0.0, 6.0, [grand])
+    b = make_span("b", 6.0, 9.0)
+    return make_span("root", 0.0, 10.0, [a, b])
+
+
+class TestBuildProfile:
+    def test_self_time_partitions_the_root(self):
+        profile = build_profile([sample_tree()])
+        assert profile.root_count == 1
+        assert profile.total_seconds == pytest.approx(10.0)
+        assert profile.row("root").self_seconds == pytest.approx(1.0)
+        assert profile.row("a").self_seconds == pytest.approx(4.0)
+        assert profile.row("b").self_seconds == pytest.approx(3.0)
+        assert profile.row("grand").self_seconds == pytest.approx(2.0)
+        assert profile.self_total == pytest.approx(profile.total_seconds)
+
+    def test_rows_sorted_by_self_time_descending(self):
+        profile = build_profile([sample_tree()])
+        selfs = [row.self_seconds for row in profile.rows]
+        assert selfs == sorted(selfs, reverse=True)
+        assert profile.rows[0].name == "a"
+
+    def test_same_name_spans_aggregate(self):
+        roots = [
+            make_span("answer", 0.0, 2.0),
+            make_span("answer", 0.0, 4.0),
+        ]
+        profile = build_profile(roots)
+        row = profile.row("answer")
+        assert row.calls == 2
+        assert row.cumulative == pytest.approx(6.0)
+        assert row.p50 == pytest.approx(3.0)
+        assert profile.root_count == 2
+
+    def test_negative_self_time_clamped(self):
+        # A child recorded marginally longer than its parent (timer
+        # granularity) must not drive self time below zero.
+        child = make_span("child", 0.0, 5.1)
+        parent = make_span("parent", 0.0, 5.0, [child])
+        assert self_seconds(parent) == 0.0
+
+    def test_critical_path_follows_slowest_children(self):
+        assert critical_path(sample_tree()) == [
+            ("root", 10.0), ("a", 6.0), ("grand", 2.0)
+        ]
+
+    def test_critical_path_comes_from_slowest_root(self):
+        fast = make_span("fast", 0.0, 1.0)
+        slow = sample_tree()
+        profile = build_profile([fast, slow])
+        assert profile.critical_path[0] == ("root", 10.0)
+
+    def test_empty_batch(self):
+        profile = build_profile([])
+        assert profile.rows == []
+        assert profile.total_seconds == 0.0
+        assert profile.critical_path == []
+        with pytest.raises(KeyError):
+            profile.row("anything")
+
+    def test_render_text_and_json(self):
+        profile = build_profile([sample_tree()], metadata={"query": "Q"})
+        text = profile.render_text()
+        assert "flat profile: 1 root span(s)" in text
+        assert "critical path (slowest root):" in text
+        data = json.loads(profile.render_json())
+        assert data["schema_version"] == 1
+        assert data["metadata"] == {"query": "Q"}
+        assert [row["name"] for row in data["rows"]] == [
+            row.name for row in profile.rows
+        ]
+        assert data["critical_path"][0] == {"name": "root", "seconds": 10.0}
+
+
+class TestEngineProfile:
+    def _engine(self):
+        workload = synthetic.generate_workload(200, 6, 4, seed=0)
+        return AggregationEngine([workload.table], workload.pmapping), workload
+
+    def test_self_time_accounts_for_root_time(self):
+        engine, workload = self._engine()
+        with engine:
+            profile = engine.profile(
+                workload.query(AggregateOp.COUNT),
+                "by-tuple",
+                "distribution",
+                repeat=3,
+            )
+        assert profile.root_count == 3
+        assert profile.row("answer").calls == 3
+        assert profile.total_seconds > 0.0
+        # The acceptance bar: the flat view explains >= 90% of the time.
+        assert profile.self_total >= 0.9 * profile.total_seconds
+        assert profile.critical_path[0][0] == "answer"
+        assert profile.metadata["executions"] == 3
+        assert profile.metadata["mapping_semantics"] == "by-tuple"
+        assert profile.metadata["aggregate_semantics"] == "distribution"
+
+    def test_profile_does_not_leave_a_sink_installed(self):
+        from repro.obs import trace
+
+        engine, workload = self._engine()
+        with engine:
+            engine.profile(
+                workload.query(AggregateOp.COUNT), "by-tuple", "range"
+            )
+        assert trace.current_sink() is None
+
+    def test_repeat_must_be_positive(self):
+        engine, workload = self._engine()
+        with engine, pytest.raises(EvaluationError, match="repeat"):
+            engine.profile(
+                workload.query(AggregateOp.COUNT), "by-tuple", "range",
+                repeat=0,
+            )
+
+
+class TestProfileCLI:
+    ARGS = [
+        "profile",
+        "--query", "SELECT COUNT(*) FROM T",
+        "--msem", "by-tuple",
+        "--asem", "distribution",
+        "--tuples", "50",
+        "--repeat", "2",
+    ]
+
+    def test_text_output_on_synthetic_workload(self, capsys):
+        assert cli.main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "flat profile: 2 root span(s)" in out
+        assert "critical path (slowest root):" in out
+        assert "answer" in out
+
+    def test_json_output_meets_self_time_bar(self, capsys):
+        assert cli.main(self.ARGS + ["--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema_version"] == 1
+        assert data["metadata"]["query"] == "SELECT COUNT(*) FROM T"
+        total_self = sum(row["self_seconds"] for row in data["rows"])
+        assert total_self >= 0.9 * data["total_seconds"]
+
+    def test_data_without_mapping_is_rejected(self, capsys):
+        code = cli.main(
+            ["profile", "--query", "SELECT COUNT(*) FROM T",
+             "--data", "missing.csv"]
+        )
+        assert code == 2
+        assert "--data and --mapping" in capsys.readouterr().err
