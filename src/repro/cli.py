@@ -367,6 +367,7 @@ def _run_query(args: argparse.Namespace) -> int:
             backend=args.backend,
             allow_exponential=args.allow_exponential,
             allow_sampling=args.samples is not None,
+            max_workers=args.max_workers,
         )
         with engine:
             if args.explain:
@@ -488,6 +489,12 @@ def main(argv: list[str] | None = None) -> int:
         "--stream", action="store_true",
         help="single-pass streaming evaluation (by-tuple, flat queries; "
         "the CSV is never materialized, so it may exceed RAM)",
+    )
+    query_parser.add_argument(
+        "--max-workers", type=int, default=None, metavar="N",
+        help="shard flat PTIME by-tuple queries across N worker processes "
+        "(answers are bit-for-bit equal to the sequential lanes; small "
+        "inputs keep the sequential fast path)",
     )
     profile_parser = subparsers.add_parser(
         "profile",

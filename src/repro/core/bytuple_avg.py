@@ -46,12 +46,32 @@ def _greedy_extreme_mean(
 
     ``None`` when no element can participate at all.
     """
-    if not forced and not optional:
+    return _greedy_extreme_mean_from(
+        math.fsum(forced), len(forced), optional, minimize=minimize
+    )
+
+
+def _greedy_extreme_mean_from(
+    forced_total: float,
+    forced_count: int,
+    optional: list[float],
+    *,
+    minimize: bool,
+) -> float | None:
+    """The greedy, starting from an already-reduced forced sum and count.
+
+    The streaming/parallel accumulators keep the forced tuples as an exact
+    running sum rather than a list; entering the greedy through the
+    reduced form (with ``forced_total`` correctly rounded, as
+    ``math.fsum`` of the forced values would be) keeps their bounds
+    bit-for-bit equal to this kernel's.
+    """
+    if not forced_count and not optional:
         return None
     candidates = sorted(optional, reverse=not minimize)
-    if forced:
-        total = math.fsum(forced)
-        count = len(forced)
+    if forced_count:
+        total = forced_total
+        count = forced_count
     else:
         # At least one tuple must participate for AVG to be defined; start
         # with the single most favourable optional tuple.

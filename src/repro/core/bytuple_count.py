@@ -181,8 +181,16 @@ def by_tuple_expected_count(
 
 
 def expected_count_kernel(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
-    """Expected COUNT over one prepared problem, via the paper's DP route."""
-    return distribution_count_kernel(prepared).to_expected_value()
+    """Expected COUNT over one prepared problem (planner's scalar kernel).
+
+    Delegates to the linear route: by linearity of expectation it agrees
+    with the paper's DP expectation, costs O(n * m) instead of O(m * n^2),
+    and — because it is an ``fsum`` of the per-tuple participation
+    probabilities — matches the streaming/parallel accumulators bit for
+    bit.  The paper-faithful DP remains available through
+    :func:`by_tuple_expected_count` with ``method="distribution"``.
+    """
+    return linear_expected_count_kernel(prepared)
 
 
 def linear_expected_count_kernel(

@@ -28,6 +28,7 @@ from repro.core.answers import (
 )
 from repro.core.bytable import CertainExecutor, by_table_answer, memory_executor
 from repro.core.common import PreparedTupleQuery, run_possibly_grouped
+from repro.core.exactsum import ExactSum
 from repro.core.semantics import AggregateSemantics
 from repro.exceptions import EvaluationError
 from repro.obs import metrics
@@ -39,10 +40,17 @@ from repro.storage.table import Table
 def range_sum_kernel(
     prepared: PreparedTupleQuery, trace: list[dict] | None = None
 ) -> RangeAnswer:
-    """The (tightened) Figure 4 fold over one prepared (ungrouped) problem."""
+    """The (tightened) Figure 4 fold over one prepared (ungrouped) problem.
+
+    The bound totals accumulate through
+    :class:`~repro.core.exactsum.ExactSum`, so they are correctly rounded
+    and independent of association order — the property that lets the
+    sharded parallel lane and the streaming accumulators promise answers
+    bit-for-bit equal to this kernel's.
+    """
     metrics.inc("tuples.scanned", len(prepared.rows))
-    low = 0.0
-    up = 0.0
+    low = ExactSum()
+    up = ExactSum()
     any_satisfiable = False
     # True when the world realizing the low (resp. up) bound is known to
     # contain at least one qualifying tuple.
@@ -72,16 +80,16 @@ def range_sum_kernel(
                 low_world_nonempty = True
             if up_contribution > 0.0:
                 up_world_nonempty = True
-        low += low_contribution
-        up += up_contribution
+        low.add(low_contribution)
+        up.add(up_contribution)
         if trace is not None:
             trace.append(
                 {
                     "tuple_index": index,
                     "vmin": vmin,
                     "vmax": vmax,
-                    "low": low,
-                    "up": up,
+                    "low": low.value(),
+                    "up": up.value(),
                 }
             )
     if not any_satisfiable:
@@ -89,8 +97,8 @@ def range_sum_kernel(
     # If the bound-realizing world excluded every tuple, its SUM would
     # be undefined; the tight defined bound instead includes the single
     # cheapest (resp. most valuable) qualifying tuple.
-    final_low = low if low_world_nonempty else best_single_min
-    final_up = up if up_world_nonempty else best_single_max
+    final_low = low.value() if low_world_nonempty else best_single_min
+    final_up = up.value() if up_world_nonempty else best_single_max
     return RangeAnswer(final_low, final_up)
 
 
@@ -167,10 +175,20 @@ def by_tuple_expected_sum(
 
 
 def expected_sum_kernel(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
-    """Exact conditional expected SUM over one prepared problem."""
+    """Exact conditional expected SUM over one prepared problem.
+
+    The empty-world probability accumulates as a sum of ``log1p`` terms
+    rather than a running product, and the numerator through
+    :class:`~repro.core.exactsum.ExactSum` — the same order-independent
+    formulation as :class:`~repro.core.streaming.ExpectedSumAccumulator`,
+    so the streaming and sharded parallel lanes reproduce this kernel's
+    answer bit for bit (the log form is also the numerically stabler one
+    for long streams of small occurrence probabilities).
+    """
     metrics.inc("tuples.scanned", len(prepared.rows))
-    total = 0.0
-    empty_world_probability = 1.0
+    total = ExactSum()
+    log_empty = ExactSum()
+    certain_empty_impossible = False
     any_satisfiable = False
     for vector in prepared.contribution_vectors():
         occurrence = 0.0
@@ -178,11 +196,19 @@ def expected_sum_kernel(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
             if contribution is not None:
                 any_satisfiable = True
                 occurrence += probability
-                total += probability * contribution
-        empty_world_probability *= 1.0 - occurrence
-    if not any_satisfiable or empty_world_probability >= 1.0:
+                total.add(probability * contribution)
+        if occurrence >= 1.0:
+            certain_empty_impossible = True
+        elif occurrence > 0.0:
+            log_empty.add(math.log1p(-occurrence))
+    if not any_satisfiable:
         return ExpectedValueAnswer(None)
-    return ExpectedValueAnswer(total / (1.0 - empty_world_probability))
+    empty_world_probability = (
+        0.0 if certain_empty_impossible else math.exp(log_empty.value())
+    )
+    if empty_world_probability >= 1.0:
+        return ExpectedValueAnswer(None)
+    return ExpectedValueAnswer(total.value() / (1.0 - empty_world_probability))
 
 
 def linear_expected_sum_kernel(

@@ -105,6 +105,18 @@ class AggregationEngine:
     samples / seed / max_sequences:
         Defaults for the sampling estimator and the naive-enumeration
         guard; individual :meth:`answer` calls can override them.
+    max_workers:
+        Enable the sharded parallel lane (:mod:`repro.core.parallel`) with
+        this many workers for the PTIME by-tuple cells.  ``None`` (the
+        default) keeps every lane sequential.  The worker pool is created
+        lazily on first use and shut down by :meth:`close`.
+    min_rows_per_shard:
+        Inputs that cannot fill two shards of this size stay on the
+        sequential fast path (the parallel plan falls back at run time).
+    parallel_executor:
+        ``"process"`` (default) shards across a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; ``"thread"``
+        uses threads (useful where processes cannot be spawned).
     """
 
     def __init__(
@@ -121,6 +133,9 @@ class AggregationEngine:
         samples: int = 2000,
         seed: int | None = None,
         max_sequences: int = 1 << 22,
+        max_workers: int | None = None,
+        min_rows_per_shard: int | None = None,
+        parallel_executor: str = "process",
     ) -> None:
         if isinstance(tables, Table):
             tables = [tables]
@@ -166,6 +181,9 @@ class AggregationEngine:
             samples=samples,
             seed=seed,
             max_sequences=max_sequences,
+            max_workers=max_workers,
+            min_rows_per_shard=min_rows_per_shard,
+            parallel_executor=parallel_executor,
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -176,11 +194,12 @@ class AggregationEngine:
         return self.context.columnar_cache
 
     def close(self) -> None:
-        """Release the SQLite backend, if any.
+        """Release the SQLite backend (if any) and the worker pool.
 
         A SQLite-backed engine refuses further work after ``close()``
         (:class:`EvaluationError` ``"engine is closed"``); a memory-backed
-        engine holds no external resources and keeps answering.
+        engine holds no external resources and keeps answering (lazily
+        recreating the parallel worker pool if it is still asked to).
         """
         self.context.close()
 
@@ -261,6 +280,7 @@ class AggregationEngine:
         samples: int | None = None,
         seed: int | None = None,
         max_sequences: int | None = None,
+        parallel: bool = False,
     ) -> list[AggregateAnswer]:
         """Answer a batch of queries under one semantics cell.
 
@@ -268,17 +288,40 @@ class AggregationEngine:
         :meth:`prepare`/:meth:`answer` of the same text via the context
         caches), so repeated texts in the batch pay compilation and
         planning only once.
+
+        With ``parallel=True`` the batch is answered from a thread pool
+        (sized by the engine's ``max_workers``, or the CPU count), in the
+        input order.  The context's caches are lock-protected, so
+        concurrent prepare/plan calls are safe; a SQLite-backed engine
+        answers sequentially regardless, since its connection must stay
+        on one thread.
         """
-        return [
-            self.prepare(query).answer(
+        queries = list(queries)
+
+        def one(query: str | AggregateQuery) -> AggregateAnswer:
+            return self.prepare(query).answer(
                 mapping_semantics,
                 aggregate_semantics,
                 samples=samples,
                 seed=seed,
                 max_sequences=max_sequences,
             )
-            for query in queries
-        ]
+
+        if (
+            parallel
+            and len(queries) > 1
+            and self.context.backend is None
+        ):
+            import os
+            from concurrent.futures import ThreadPoolExecutor
+
+            workers = self.context.max_workers or min(
+                8, os.cpu_count() or 1
+            )
+            workers = min(workers, len(queries))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(one, queries))
+        return [one(query) for query in queries]
 
     # -- observability -----------------------------------------------------
 

@@ -1,0 +1,97 @@
+"""Exact floating-point summation with a mergeable carry state.
+
+The streaming accumulators (:mod:`repro.core.streaming`) are left-to-right
+folds, and the parallel lane (:mod:`repro.core.parallel`) evaluates them as
+*shard folds followed by a merge*.  Plain ``+=`` float addition is not
+associative, so the two evaluation orders would differ by ULPs and the
+parallel lane could not promise bit-for-bit equality with the sequential
+lanes.
+
+:class:`ExactSum` removes the order dependence.  It keeps the running total
+as a list of non-overlapping partial sums (Shewchuk's error-free
+transformation, the same technique behind :func:`math.fsum`): ``add``
+folds a value in exactly, ``merge`` folds another instance's partials in
+exactly, and ``value`` rounds the exact total once.  Because the partials
+represent the *exact* real-number sum, any grouping of the same addends —
+one sequential fold, or any shard partition merged in any order — yields
+the same :meth:`value`.
+
+References: Shewchuk, "Adaptive Precision Floating-Point Arithmetic and
+Fast Robust Geometric Predicates" (1997); Hettinger's recipe used by
+CPython's ``math.fsum``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = ["ExactSum"]
+
+
+class ExactSum:
+    """A float sum that is exact, and therefore partition-invariant.
+
+    Examples
+    --------
+    >>> left, right, whole = ExactSum(), ExactSum(), ExactSum()
+    >>> data = [1e16, 1.0, -1e16, 1.0]
+    >>> for x in data[:2]:
+    ...     left.add(x)
+    >>> for x in data[2:]:
+    ...     right.add(x)
+    >>> for x in data:
+    ...     whole.add(x)
+    >>> left.merge(right)
+    >>> left.value() == whole.value() == 2.0
+    True
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        self._partials: list[float] = []
+        for value in values:
+            self.add(value)
+
+    def add(self, value: float) -> None:
+        """Fold ``value`` into the exact total (error-free transformation)."""
+        x = float(value)
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            high = x + y
+            low = y - (high - x)
+            if low:
+                partials[i] = low
+                i += 1
+            x = high
+        partials[i:] = [x]
+
+    def merge(self, other: "ExactSum") -> None:
+        """Fold ``other``'s exact total into this one.
+
+        The partials of ``other`` sum exactly to its total, so adding them
+        one by one preserves exactness; ``other`` is left untouched.
+        """
+        for partial in other._partials:
+            self.add(partial)
+
+    def value(self) -> float:
+        """The correctly-rounded sum of everything added so far."""
+        return math.fsum(self._partials)
+
+    def is_zero(self) -> bool:
+        """True when nothing (or only zeros) has been added."""
+        return not any(self._partials)
+
+    def copy(self) -> "ExactSum":
+        """An independent accumulator with the same exact total."""
+        duplicate = ExactSum()
+        duplicate._partials = list(self._partials)
+        return duplicate
+
+    def __repr__(self) -> str:
+        return f"ExactSum({self.value()!r})"

@@ -20,6 +20,7 @@ executions skip per-row predicate evaluation entirely.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from collections.abc import Mapping
 
@@ -78,7 +79,12 @@ class ExecutionContext:
         seed: int | None = None,
         max_sequences: int = 1 << 22,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        max_workers: int | None = None,
+        min_rows_per_shard: int | None = None,
+        parallel_executor: str = "process",
     ) -> None:
+        from repro.core.parallel import DEFAULT_MIN_ROWS_PER_SHARD
+
         self.tables = dict(tables)
         self.schema_pmapping = schema_pmapping
         self.executor = executor
@@ -89,7 +95,19 @@ class ExecutionContext:
         self.max_sequences = max_sequences
         self.columnar_cache: dict[str, object] = {}
         self.cache_size = cache_size
+        self.max_workers = max_workers
+        self.min_rows_per_shard = (
+            DEFAULT_MIN_ROWS_PER_SHARD
+            if min_rows_per_shard is None
+            else min_rows_per_shard
+        )
+        self.parallel_executor = parallel_executor
+        self._pool = None
         self.closed = False
+        #: Serializes the three LRU caches below (and their metrics): the
+        #: engine promises thread-safe prepare/answer, and an OrderedDict
+        #: being reordered from two threads corrupts itself.
+        self._lock = threading.RLock()
         #: Per-engine metric state (cache hits/misses, lane counts); chained
         #: to the process-wide registry so EXPLAIN ANALYZE sees the same
         #: numbers.  Reset by :meth:`invalidate` and :meth:`close`.
@@ -110,15 +128,36 @@ class ExecutionContext:
     def close(self) -> None:
         """Release the SQLite backend (if any) and refuse further execution.
 
-        Also resets the per-context metric state: a closed context must not
-        keep reporting the cache traffic of its previous life (the
-        process-wide parent registry retains the cumulative totals).
+        Also shuts down the parallel worker pool (a memory-backed engine
+        that keeps answering lazily recreates it) and resets the
+        per-context metric state: a closed context must not keep reporting
+        the cache traffic of its previous life (the process-wide parent
+        registry retains the cumulative totals).
         """
+        self.reset_pool()
         if self.backend is not None:
             self.backend.close()
             self.backend = None
             self.closed = True
         self.metrics.reset()
+
+    def pool(self):
+        """The lazily-created worker pool of the parallel lane."""
+        from repro.core.parallel import make_pool
+
+        with self._lock:
+            if self._pool is None:
+                self._pool = make_pool(
+                    self.parallel_executor, self.max_workers
+                )
+            return self._pool
+
+    def reset_pool(self) -> None:
+        """Shut down the worker pool; the next :meth:`pool` recreates it."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
     def invalidate(self) -> None:
         """Drop every cache (compiled, plans, prepared, columnar).
@@ -128,11 +167,12 @@ class ExecutionContext:
         per-context metric state resets with the caches — hit/miss counts
         refer to cache entries that no longer exist.
         """
-        self._compiled.clear()
-        self._plans.clear()
-        self._prepared.clear()
-        self.columnar_cache.clear()
-        self.metrics.reset()
+        with self._lock:
+            self._compiled.clear()
+            self._plans.clear()
+            self._prepared.clear()
+            self.columnar_cache.clear()
+            self.metrics.reset()
 
     # -- caches ------------------------------------------------------------
 
@@ -145,18 +185,19 @@ class ExecutionContext:
     def compile(self, query: str | AggregateQuery) -> CompiledQuery:
         """Compile a query, serving repeats from the text-keyed LRU cache."""
         key = cache_key(query)
-        compiled = self._compiled.get(key)
-        if compiled is None:
-            self.metrics.inc("compile.cache.miss")
-            with trace.span("compile", query=key):
-                compiled = compile_query(
-                    query, self.tables, self.schema_pmapping
-                )
-            self._remember(self._compiled, key, compiled)
-        else:
-            self.metrics.inc("compile.cache.hit")
-            self._compiled.move_to_end(key)
-        return compiled
+        with self._lock:
+            compiled = self._compiled.get(key)
+            if compiled is None:
+                self.metrics.inc("compile.cache.miss")
+                with trace.span("compile", query=key):
+                    compiled = compile_query(
+                        query, self.tables, self.schema_pmapping
+                    )
+                self._remember(self._compiled, key, compiled)
+            else:
+                self.metrics.inc("compile.cache.hit")
+                self._compiled.move_to_end(key)
+            return compiled
 
     def plan(
         self,
@@ -171,44 +212,46 @@ class ExecutionContext:
         a hit returns the identical :class:`ExecutionPlan` object.
         """
         key = (compiled.text, mapping_semantics, aggregate_semantics)
-        plan = self._plans.get(key)
-        if plan is None:
-            self.metrics.inc("plan.cache.miss")
-            with trace.span(
-                "plan.select_lane",
-                query=compiled.text,
-                mapping_semantics=mapping_semantics.value,
-                aggregate_semantics=aggregate_semantics.value,
-            ):
-                plan = planner.plan(
-                    compiled, mapping_semantics, aggregate_semantics, self
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.metrics.inc("plan.cache.miss")
+                with trace.span(
+                    "plan.select_lane",
+                    query=compiled.text,
+                    mapping_semantics=mapping_semantics.value,
+                    aggregate_semantics=aggregate_semantics.value,
+                ):
+                    plan = planner.plan(
+                        compiled, mapping_semantics, aggregate_semantics, self
+                    )
+                self.metrics.inc(f"plan.lane.{plan.lane}")
+                self.metrics.inc(
+                    "plan.cell."
+                    f"{compiled.query.aggregate.op.value}."
+                    f"{mapping_semantics.value}.{aggregate_semantics.value}"
                 )
-            self.metrics.inc(f"plan.lane.{plan.lane}")
-            self.metrics.inc(
-                "plan.cell."
-                f"{compiled.query.aggregate.op.value}."
-                f"{mapping_semantics.value}.{aggregate_semantics.value}"
-            )
-            self._remember(self._plans, key, plan)
-        else:
-            self.metrics.inc("plan.cache.hit")
-            self._plans.move_to_end(key)
-        return plan
+                self._remember(self._plans, key, plan)
+            else:
+                self.metrics.inc("plan.cache.hit")
+                self._plans.move_to_end(key)
+            return plan
 
     def prepare(
         self, planner: Planner, query: str | AggregateQuery
     ) -> "PreparedQuery":
         """A (cached) prepared-plan handle for the query."""
         compiled = self.compile(query)
-        prepared = self._prepared.get(compiled.text)
-        if prepared is None:
-            self.metrics.inc("prepared.cache.miss")
-            prepared = PreparedQuery(compiled, planner, self)
-            self._remember(self._prepared, compiled.text, prepared)
-        else:
-            self.metrics.inc("prepared.cache.hit")
-            self._prepared.move_to_end(compiled.text)
-        return prepared
+        with self._lock:
+            prepared = self._prepared.get(compiled.text)
+            if prepared is None:
+                self.metrics.inc("prepared.cache.miss")
+                prepared = PreparedQuery(compiled, planner, self)
+                self._remember(self._prepared, compiled.text, prepared)
+            else:
+                self.metrics.inc("prepared.cache.hit")
+                self._prepared.move_to_end(compiled.text)
+            return prepared
 
 
 class PreparedQuery:
@@ -315,6 +358,21 @@ def execute_plan(
                 for reformulated, probability in reformulated_pairs
             ]
             return bytable.combine_results(results, plan.aggregate_semantics)
+        if lane == Lane.PARALLEL:
+            from repro.core import parallel
+
+            answer = parallel.try_parallel(plan)
+            if answer is not None:
+                context.metrics.inc("parallel.hit")
+                return answer
+            context.metrics.inc("parallel.fallback")
+            context.metrics.inc(f"execute.fallback.{lane}")
+            return execute_plan(
+                plan.fallback,
+                samples=samples,
+                seed=seed,
+                max_sequences=max_sequences,
+            )
         if lane == Lane.VECTORIZED:
             answer = _try_vectorized(plan)
             if answer is not None:

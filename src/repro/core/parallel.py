@@ -1,0 +1,175 @@
+"""Sharded parallel evaluation of the PTIME by-tuple algorithms.
+
+Every PTIME by-tuple cell is a left-to-right fold with an associative
+merge (:mod:`repro.core.streaming`), so it evaluates as map-reduce: split
+the source rows into contiguous shards, fold each shard through its own
+accumulator on a worker, then merge the shard accumulators in shard
+order.  :class:`~repro.core.exactsum.ExactSum` totals and in-order
+occurrence/optional-value concatenation make the merged answer
+**bit-for-bit equal** to the sequential fold — the parallel lane is a
+pure speedup, never a different answer.
+
+The lane is planner-selected (:data:`~repro.core.planner.Lane.PARALLEL`)
+when the engine sets ``max_workers`` and the cell is in
+:data:`PARALLEL_CELLS`; :func:`try_parallel` declines at run time (to the
+plan's fallback chain) when the input is too small to shard profitably —
+fewer than two shards of ``min_rows_per_shard`` rows — or when the host
+cannot spawn workers.  Workers receive ``(relation, p-mapping, query,
+cell, rows)`` payloads (all picklable; compiled predicate closures are
+rebuilt per worker) and return detached accumulators.
+
+Grouped and nested queries keep their existing lanes: sharding them
+would need per-group fan-out across workers, which the flat fold does
+not; :class:`~repro.core.streaming.GroupedAccumulator` still merges, so
+the algebra is ready when that lane grows.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.core.semantics import AggregateSemantics
+from repro.core.streaming import (
+    DistributionCountAccumulator,
+    ExpectedCountAccumulator,
+    ExpectedSumAccumulator,
+    RangeAvgAccumulator,
+    RangeCountAccumulator,
+    RangeMinMaxAccumulator,
+    RangeSumAccumulator,
+    TupleStream,
+    merge_accumulators,
+)
+from repro.obs import trace
+from repro.sql.ast import AggregateOp
+
+#: Below this many rows a shard is not worth a worker round-trip; inputs
+#: that cannot fill two shards stay on the sequential fast path.
+DEFAULT_MIN_ROWS_PER_SHARD = 4096
+
+#: The by-tuple cells the parallel lane can answer, mapped to their
+#: streaming accumulator factory (every factory here is picklable — a
+#: class or a :func:`functools.partial` over one — so it can cross a
+#: process boundary inside a shard payload).
+PARALLEL_CELLS = {
+    (AggregateOp.COUNT, AggregateSemantics.RANGE): RangeCountAccumulator,
+    (AggregateOp.COUNT, AggregateSemantics.DISTRIBUTION):
+        DistributionCountAccumulator,
+    (AggregateOp.COUNT, AggregateSemantics.EXPECTED_VALUE):
+        ExpectedCountAccumulator,
+    (AggregateOp.SUM, AggregateSemantics.RANGE): RangeSumAccumulator,
+    (AggregateOp.SUM, AggregateSemantics.EXPECTED_VALUE):
+        ExpectedSumAccumulator,
+    (AggregateOp.AVG, AggregateSemantics.RANGE): RangeAvgAccumulator,
+    (AggregateOp.MIN, AggregateSemantics.RANGE):
+        functools.partial(RangeMinMaxAccumulator, maximize=False),
+    (AggregateOp.MAX, AggregateSemantics.RANGE):
+        functools.partial(RangeMinMaxAccumulator, maximize=True),
+}
+
+
+def shard_count(
+    row_count: int, max_workers: int, min_rows_per_shard: int
+) -> int:
+    """How many shards to cut ``row_count`` rows into (possibly < 2)."""
+    if row_count <= 0 or max_workers <= 0:
+        return 0
+    per_shard = max(1, min_rows_per_shard)
+    return min(max_workers, row_count // per_shard + (row_count % per_shard > 0))
+
+
+def shard_rows(rows, shards: int):
+    """Split ``rows`` into ``shards`` contiguous, near-equal chunks.
+
+    Contiguity matters: merging in shard order then replays order-dependent
+    float work (the COUNT DP, AVG's optional lists) exactly as a
+    sequential pass would.
+    """
+    n = len(rows)
+    base, extra = divmod(n, shards)
+    chunks = []
+    start = 0
+    for i in range(shards):
+        size = base + (1 if i < extra else 0)
+        chunks.append(rows[start:start + size])
+        start += size
+    return chunks
+
+
+def fold_shard(payload):
+    """Worker entry point: fold one shard of rows into an accumulator.
+
+    ``payload`` is ``(relation, pmapping, query, cell, rows)``.  The
+    stream (with its compiled predicate closures) is rebuilt here, on the
+    worker's side of the process boundary; the returned accumulator is
+    detached so it pickles back cleanly.
+    """
+    relation, pmapping, query, cell, rows = payload
+    stream = TupleStream(relation, pmapping, query)
+    accumulator = PARALLEL_CELLS[cell](stream)
+    for values in rows:
+        accumulator.add_row(values)
+    return accumulator.detach()
+
+
+def make_pool(kind: str, max_workers: int):
+    """A worker pool: ``"process"`` (default) or ``"thread"``."""
+    if kind == "thread":
+        return ThreadPoolExecutor(max_workers=max_workers)
+    if kind == "process":
+        return ProcessPoolExecutor(max_workers=max_workers)
+    from repro.exceptions import EvaluationError
+
+    raise EvaluationError(
+        f"unknown parallel executor {kind!r} (choices: process, thread)"
+    )
+
+
+def try_parallel(plan):
+    """Run a plan through the parallel lane, or ``None`` to decline.
+
+    Declines (the caller then records ``execute.fallback.parallel`` and
+    runs the fallback plan) when the query shape or cell is outside the
+    lane, the input is too small to fill two shards, or the pool cannot
+    be used (worker spawn failure, unpicklable payload).
+    """
+    context = plan.context
+    compiled = plan.compiled
+    query = compiled.query
+    if compiled.is_nested or query.group_by is not None:
+        return None
+    cell = (query.aggregate.op, plan.aggregate_semantics)
+    if cell not in PARALLEL_CELLS:
+        return None
+    rows = compiled.table.rows
+    shards = shard_count(
+        len(rows), context.max_workers or 0, context.min_rows_per_shard
+    )
+    if shards < 2:
+        return None
+    chunks = shard_rows(rows, shards)
+    payloads = [
+        (compiled.table.relation, compiled.pmapping, query, cell, chunk)
+        for chunk in chunks
+    ]
+    try:
+        pool = context.pool()
+        with trace.span("parallel.map", shards=shards, rows=len(rows)):
+            accumulators = list(pool.map(fold_shard, payloads))
+    except (BrokenExecutor, OSError, pickle.PicklingError):
+        # A sandboxed host (no fork), a dead pool, or an unpicklable
+        # payload: the sequential fallback still answers correctly.
+        context.reset_pool()
+        return None
+    context.metrics.inc("parallel.shards", shards)
+    context.metrics.inc("parallel.rows", len(rows))
+    started = time.perf_counter_ns()
+    with trace.span("parallel.merge", shards=shards):
+        merged = merge_accumulators(accumulators)
+    context.metrics.observe(
+        "parallel.merge_ns", time.perf_counter_ns() - started
+    )
+    return merged.result()

@@ -56,6 +56,7 @@ class Lane:
     BY_TABLE = "by-table"  # Figure 1 over the certain-query executor
     SCALAR = "scalar"  # pure-Python PTIME by-tuple kernel
     VECTORIZED = "vectorized"  # numpy kernel, scalar fallback at run time
+    PARALLEL = "parallel"  # sharded pool fold + merge, fallback at run time
     EXTENSION = "extension"  # exact MIN/MAX distributions beyond the paper
     NESTED_RANGE = "nested-range"  # per-group range composition (Q2 shape)
     NESTED_COMPOSE = "nested-compose"  # independent-distribution composition
@@ -567,7 +568,7 @@ class Planner:
         spec = self.algorithm_for(
             op, mapping_semantics, aggregate_semantics
         )
-        base = ExecutionPlan(
+        chosen = ExecutionPlan(
             compiled,
             mapping_semantics,
             aggregate_semantics,
@@ -580,17 +581,35 @@ class Planner:
             from repro.core import vectorized
 
             if (op, aggregate_semantics) in vectorized.VECTORIZED_CELLS:
-                return ExecutionPlan(
+                chosen = ExecutionPlan(
                     compiled,
                     mapping_semantics,
                     aggregate_semantics,
                     Lane.VECTORIZED,
                     complexity,
                     spec,
-                    fallback=base,
+                    fallback=chosen,
                     context=context,
                 )
-        return base
+        if (
+            context is not None
+            and getattr(context, "max_workers", None)
+            and compiled.query.group_by is None
+        ):
+            from repro.core import parallel
+
+            if (op, aggregate_semantics) in parallel.PARALLEL_CELLS:
+                chosen = ExecutionPlan(
+                    compiled,
+                    mapping_semantics,
+                    aggregate_semantics,
+                    Lane.PARALLEL,
+                    complexity,
+                    spec,
+                    fallback=chosen,
+                    context=context,
+                )
+        return chosen
 
     def _plan_nested(
         self,

@@ -28,6 +28,18 @@ Use :func:`answer_stream` for the common case::
     rows = iter_csv_rows(S1_RELATION, "listings.csv")
     answer = answer_stream(rows, S1_RELATION, pmapping, query,
                            RangeCountAccumulator)
+
+Accumulators form a **commutative monoid**: every class has a
+:meth:`~Accumulator.merge` that combines two partial folds into the fold
+of the concatenated input, and a fresh accumulator is the identity.  Sums
+and counters add, range bounds combine by min/max, and COUNT
+distributions convolve (represented by concatenating their occurrence
+lists, so the Figure 3 dynamic program replays in the sequential order).
+Float totals use :class:`~repro.core.exactsum.ExactSum`, which keeps the
+*exact* running sum — so any shard partition merges to bit-for-bit the
+same answer as the one-pass fold.  That algebra is what the parallel lane
+(:mod:`repro.core.parallel`) exploits: fold each shard independently,
+then :func:`combine_answers`.
 """
 
 from __future__ import annotations
@@ -42,10 +54,11 @@ from repro.core.answers import (
     GroupedAnswer,
     RangeAnswer,
 )
-from repro.core.bytuple_avg import _greedy_extreme_mean
+from repro.core.bytuple_avg import _greedy_extreme_mean_from
 from repro.core.bytuple_count import count_distribution_dp
 from repro.core.compile import CompiledQuery
-from repro.exceptions import UnsupportedQueryError
+from repro.core.exactsum import ExactSum
+from repro.exceptions import EvaluationError, UnsupportedQueryError
 from repro.obs import metrics, trace
 from repro.schema.mapping import PMapping
 from repro.schema.model import Relation
@@ -106,10 +119,32 @@ class TupleStream:
         )
 
 
-class Accumulator:
-    """Base class: consume contribution vectors, produce an answer."""
+def _occurrence(probabilities: list[float], vector: tuple) -> float:
+    """The probability that a tuple participates, given its vector.
 
-    def __init__(self, stream: TupleStream) -> None:
+    Mirrors :meth:`~repro.core.common.PreparedTupleQuery.\
+satisfaction_probability` exactly — snapping to 1.0 when the tuple
+    qualifies under every mapping and using ``math.fsum`` otherwise — so
+    streaming and scalar-kernel folds see identical per-tuple floats.
+    """
+    if all(contribution is not None for contribution in vector):
+        return 1.0
+    return math.fsum(
+        p
+        for p, contribution in zip(probabilities, vector)
+        if contribution is not None
+    )
+
+
+class Accumulator:
+    """Base class: consume contribution vectors, produce an answer.
+
+    Accumulators of the same class (and configuration) form a monoid
+    under :meth:`merge`, with the freshly-constructed accumulator as the
+    identity — see the module docstring.
+    """
+
+    def __init__(self, stream: TupleStream | None) -> None:
         self.stream = stream
 
     def add(self, vector: tuple) -> None:
@@ -119,6 +154,33 @@ class Accumulator:
         """Convenience: vectorize one raw row and fold it in."""
         self.add(self.stream.vector(values))
 
+    def merge(self, other: "Accumulator") -> None:
+        """Fold ``other``'s partial state into this accumulator.
+
+        After the call, this accumulator's :meth:`result` equals the one
+        a single accumulator would produce after folding this side's rows
+        followed by ``other``'s rows.  ``other`` is not modified.
+        """
+        raise NotImplementedError
+
+    def detach(self) -> "Accumulator":
+        """Drop the stream reference, keeping only the mergeable state.
+
+        The stream holds compiled predicate closures, which cannot cross
+        a process boundary; a detached accumulator pickles cleanly and
+        still supports :meth:`merge` and :meth:`result` (but not
+        :meth:`add_row`).  Returns ``self`` for chaining.
+        """
+        self.stream = None
+        return self
+
+    def _require_same_kind(self, other: "Accumulator") -> None:
+        if type(other) is not type(self):
+            raise EvaluationError(
+                f"cannot merge {type(other).__name__} into "
+                f"{type(self).__name__}"
+            )
+
     def result(self) -> AggregateAnswer:
         raise NotImplementedError
 
@@ -126,7 +188,7 @@ class Accumulator:
 class RangeCountAccumulator(Accumulator):
     """Streaming ByTupleRangeCOUNT (Figure 2 is already one-pass)."""
 
-    def __init__(self, stream: TupleStream) -> None:
+    def __init__(self, stream: TupleStream | None = None) -> None:
         super().__init__(stream)
         self.low = 0
         self.up = 0
@@ -139,6 +201,11 @@ class RangeCountAccumulator(Accumulator):
         elif participating > 0:
             self.up += 1
 
+    def merge(self, other: "RangeCountAccumulator") -> None:
+        self._require_same_kind(other)
+        self.low += other.low
+        self.up += other.up
+
     def result(self) -> RangeAnswer:
         return RangeAnswer(self.low, self.up)
 
@@ -146,10 +213,10 @@ class RangeCountAccumulator(Accumulator):
 class RangeSumAccumulator(Accumulator):
     """Streaming tight ByTupleRangeSUM (Figure 4)."""
 
-    def __init__(self, stream: TupleStream) -> None:
+    def __init__(self, stream: TupleStream | None = None) -> None:
         super().__init__(stream)
-        self.low = 0.0
-        self.up = 0.0
+        self.low = ExactSum()
+        self.up = ExactSum()
         self.any_satisfiable = False
         self.low_world_nonempty = False
         self.up_world_nonempty = False
@@ -166,32 +233,50 @@ class RangeSumAccumulator(Accumulator):
         self.best_single_min = min(self.best_single_min, vmin)
         self.best_single_max = max(self.best_single_max, vmax)
         if len(satisfying) == len(vector):
-            self.low += vmin
-            self.up += vmax
+            self.low.add(vmin)
+            self.up.add(vmax)
             self.low_world_nonempty = True
             self.up_world_nonempty = True
         else:
             low_contribution = min(0.0, vmin)
             up_contribution = max(0.0, vmax)
-            self.low += low_contribution
-            self.up += up_contribution
+            self.low.add(low_contribution)
+            self.up.add(up_contribution)
             if low_contribution < 0.0:
                 self.low_world_nonempty = True
             if up_contribution > 0.0:
                 self.up_world_nonempty = True
 
+    def merge(self, other: "RangeSumAccumulator") -> None:
+        self._require_same_kind(other)
+        self.low.merge(other.low)
+        self.up.merge(other.up)
+        self.any_satisfiable = self.any_satisfiable or other.any_satisfiable
+        self.low_world_nonempty = (
+            self.low_world_nonempty or other.low_world_nonempty
+        )
+        self.up_world_nonempty = (
+            self.up_world_nonempty or other.up_world_nonempty
+        )
+        self.best_single_min = min(self.best_single_min, other.best_single_min)
+        self.best_single_max = max(self.best_single_max, other.best_single_max)
+
     def result(self) -> RangeAnswer:
         if not self.any_satisfiable:
             return RangeAnswer(None, None)
-        low = self.low if self.low_world_nonempty else self.best_single_min
-        up = self.up if self.up_world_nonempty else self.best_single_max
+        low = (
+            self.low.value() if self.low_world_nonempty else self.best_single_min
+        )
+        up = self.up.value() if self.up_world_nonempty else self.best_single_max
         return RangeAnswer(low, up)
 
 
 class RangeMinMaxAccumulator(Accumulator):
     """Streaming tight ByTupleRangeMAX / ByTupleRangeMIN (Figure 5)."""
 
-    def __init__(self, stream: TupleStream, *, maximize: bool = True) -> None:
+    def __init__(
+        self, stream: TupleStream | None = None, *, maximize: bool = True
+    ) -> None:
         super().__init__(stream)
         self.maximize = maximize
         self.any_satisfiable = False
@@ -221,6 +306,23 @@ class RangeMinMaxAccumulator(Accumulator):
                 self.has_forced = True
                 self.forced_inner = min(self.forced_inner, vmax)
 
+    def merge(self, other: "RangeMinMaxAccumulator") -> None:
+        self._require_same_kind(other)
+        if other.maximize != self.maximize:
+            raise EvaluationError(
+                "cannot merge a MIN accumulator with a MAX accumulator"
+            )
+        self.any_satisfiable = self.any_satisfiable or other.any_satisfiable
+        self.has_forced = self.has_forced or other.has_forced
+        if self.maximize:
+            self.outer = max(self.outer, other.outer)
+            self.any_inner = min(self.any_inner, other.any_inner)
+            self.forced_inner = max(self.forced_inner, other.forced_inner)
+        else:
+            self.outer = min(self.outer, other.outer)
+            self.any_inner = max(self.any_inner, other.any_inner)
+            self.forced_inner = min(self.forced_inner, other.forced_inner)
+
     def result(self) -> RangeAnswer:
         if not self.any_satisfiable:
             return RangeAnswer(None, None)
@@ -237,10 +339,10 @@ class RangeAvgAccumulator(Accumulator):
     must be retained for the final greedy (O(#optional) memory).
     """
 
-    def __init__(self, stream: TupleStream) -> None:
+    def __init__(self, stream: TupleStream | None = None) -> None:
         super().__init__(stream)
-        self.forced_min_total = 0.0
-        self.forced_max_total = 0.0
+        self.forced_min_total = ExactSum()
+        self.forced_max_total = ExactSum()
         self.forced_count = 0
         self.optional_min: list[float] = []
         self.optional_max: list[float] = []
@@ -250,26 +352,34 @@ class RangeAvgAccumulator(Accumulator):
         if not satisfying:
             return
         if len(satisfying) == len(vector):
-            self.forced_min_total += min(satisfying)
-            self.forced_max_total += max(satisfying)
+            self.forced_min_total.add(min(satisfying))
+            self.forced_max_total.add(max(satisfying))
             self.forced_count += 1
         else:
             self.optional_min.append(min(satisfying))
             self.optional_max.append(max(satisfying))
 
+    def merge(self, other: "RangeAvgAccumulator") -> None:
+        self._require_same_kind(other)
+        self.forced_min_total.merge(other.forced_min_total)
+        self.forced_max_total.merge(other.forced_max_total)
+        self.forced_count += other.forced_count
+        self.optional_min.extend(other.optional_min)
+        self.optional_max.extend(other.optional_max)
+
     def result(self) -> RangeAnswer:
-        forced_min = (
-            [self.forced_min_total / self.forced_count] * self.forced_count
-            if self.forced_count
-            else []
+        low = _greedy_extreme_mean_from(
+            self.forced_min_total.value(),
+            self.forced_count,
+            self.optional_min,
+            minimize=True,
         )
-        forced_max = (
-            [self.forced_max_total / self.forced_count] * self.forced_count
-            if self.forced_count
-            else []
+        high = _greedy_extreme_mean_from(
+            self.forced_max_total.value(),
+            self.forced_count,
+            self.optional_max,
+            minimize=False,
         )
-        low = _greedy_extreme_mean(forced_min, self.optional_min, minimize=True)
-        high = _greedy_extreme_mean(forced_max, self.optional_max, minimize=False)
         if low is None:
             return RangeAnswer(None, None)
         return RangeAnswer(low, high)
@@ -278,28 +388,28 @@ class RangeAvgAccumulator(Accumulator):
 class ExpectedCountAccumulator(Accumulator):
     """Streaming expected COUNT (linearity of expectation, O(1) state)."""
 
-    def __init__(self, stream: TupleStream) -> None:
+    def __init__(self, stream: TupleStream | None = None) -> None:
         super().__init__(stream)
-        self.total = 0.0
+        self.total = ExactSum()
 
     def add(self, vector: tuple) -> None:
-        self.total += sum(
-            p
-            for p, contribution in zip(self.stream.probabilities, vector)
-            if contribution is not None
-        )
+        self.total.add(_occurrence(self.stream.probabilities, vector))
+
+    def merge(self, other: "ExpectedCountAccumulator") -> None:
+        self._require_same_kind(other)
+        self.total.merge(other.total)
 
     def result(self) -> ExpectedValueAnswer:
-        return ExpectedValueAnswer(self.total)
+        return ExpectedValueAnswer(self.total.value())
 
 
 class ExpectedSumAccumulator(Accumulator):
     """Streaming conditional-exact expected SUM (O(1) state)."""
 
-    def __init__(self, stream: TupleStream) -> None:
+    def __init__(self, stream: TupleStream | None = None) -> None:
         super().__init__(stream)
-        self.total = 0.0
-        self.log_empty = 0.0
+        self.total = ExactSum()
+        self.log_empty = ExactSum()
         self.certain_empty_impossible = False
         self.any_satisfiable = False
 
@@ -311,36 +421,55 @@ class ExpectedSumAccumulator(Accumulator):
             if contribution is not None:
                 self.any_satisfiable = True
                 occurrence += probability
-                self.total += probability * contribution
+                self.total.add(probability * contribution)
         if occurrence >= 1.0:
             self.certain_empty_impossible = True
         elif occurrence > 0.0:
-            self.log_empty += math.log1p(-occurrence)
+            self.log_empty.add(math.log1p(-occurrence))
+
+    def merge(self, other: "ExpectedSumAccumulator") -> None:
+        self._require_same_kind(other)
+        self.total.merge(other.total)
+        self.log_empty.merge(other.log_empty)
+        self.certain_empty_impossible = (
+            self.certain_empty_impossible or other.certain_empty_impossible
+        )
+        self.any_satisfiable = self.any_satisfiable or other.any_satisfiable
 
     def result(self) -> ExpectedValueAnswer:
         if not self.any_satisfiable:
             return ExpectedValueAnswer(None)
-        empty = 0.0 if self.certain_empty_impossible else math.exp(self.log_empty)
+        empty = (
+            0.0
+            if self.certain_empty_impossible
+            else math.exp(self.log_empty.value())
+        )
         if empty >= 1.0:
             return ExpectedValueAnswer(None)
-        return ExpectedValueAnswer(self.total / (1.0 - empty))
+        return ExpectedValueAnswer(self.total.value() / (1.0 - empty))
 
 
 class DistributionCountAccumulator(Accumulator):
-    """Streaming ByTuplePDCOUNT (the Figure 3 DP folds left to right)."""
+    """Streaming ByTuplePDCOUNT (the Figure 3 DP folds left to right).
 
-    def __init__(self, stream: TupleStream) -> None:
+    Merging concatenates the occurrence lists, which is the lazy form of
+    convolving the two partial Poisson-binomial distributions — the DP
+    then replays the same float operations as a sequential fold, keeping
+    shard-merged answers bit-for-bit equal.
+    """
+
+    def __init__(self, stream: TupleStream | None = None) -> None:
         super().__init__(stream)
         self.occurrences: list[float] = []
 
     def add(self, vector: tuple) -> None:
-        occurrence = sum(
-            p
-            for p, contribution in zip(self.stream.probabilities, vector)
-            if contribution is not None
-        )
+        occurrence = _occurrence(self.stream.probabilities, vector)
         if occurrence > 0.0:
             self.occurrences.append(occurrence)
+
+    def merge(self, other: "DistributionCountAccumulator") -> None:
+        self._require_same_kind(other)
+        self.occurrences.extend(other.occurrences)
 
     def result(self) -> DistributionAnswer:
         return DistributionAnswer(count_distribution_dp(self.occurrences))
@@ -353,7 +482,12 @@ class GroupedAccumulator:
     relation (``relation.index_of(name)``).
     """
 
-    def __init__(self, stream: TupleStream, group_index: int, factory) -> None:
+    def __init__(
+        self,
+        stream: TupleStream | None,
+        group_index: int,
+        factory,
+    ) -> None:
         self.stream = stream
         self.group_index = group_index
         self.factory = factory
@@ -367,10 +501,58 @@ class GroupedAccumulator:
             self._groups[key] = accumulator
         accumulator.add(self.stream.vector(values))
 
+    def merge(self, other: "GroupedAccumulator") -> None:
+        """Merge ``other``'s per-group accumulators into this one.
+
+        Keys seen only by ``other`` are adopted in ``other``'s insertion
+        order, so merging contiguous shards left to right reproduces the
+        sequential first-appearance order.
+        """
+        for key, accumulator in other._groups.items():
+            mine = self._groups.get(key)
+            if mine is None:
+                self._groups[key] = accumulator
+            else:
+                mine.merge(accumulator)
+
+    def detach(self) -> "GroupedAccumulator":
+        """Drop stream/factory references so the state pickles cleanly."""
+        self.stream = None
+        self.factory = None
+        for accumulator in self._groups.values():
+            accumulator.detach()
+        return self
+
     def result(self) -> GroupedAnswer:
         return GroupedAnswer(
             {key: acc.result() for key, acc in self._groups.items()}
         )
+
+
+def merge_accumulators(accumulators):
+    """Merge shard accumulators left to right; returns the first one.
+
+    The accumulators must all be of the same class and configuration, in
+    shard (row) order.  The first accumulator is mutated and returned.
+    """
+    iterator = iter(accumulators)
+    try:
+        merged = next(iterator)
+    except StopIteration:
+        raise EvaluationError("cannot merge zero accumulators") from None
+    for accumulator in iterator:
+        merged.merge(accumulator)
+    return merged
+
+
+def combine_answers(accumulators) -> AggregateAnswer:
+    """Merge shard accumulators (in shard order) and return the answer.
+
+    This is the reduce side of the parallel lane: fold each shard through
+    its own accumulator, then ``combine_answers(shard_accumulators)``
+    equals the answer of one accumulator folded over all rows.
+    """
+    return merge_accumulators(accumulators).result()
 
 
 def answer_stream(

@@ -39,6 +39,11 @@ class AttributeCorrespondence:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("AttributeCorrespondence instances are immutable")
 
+    def __reduce__(self):
+        # Immutable __slots__ classes need explicit pickle support; the
+        # parallel lane ships mappings to worker processes.
+        return (AttributeCorrespondence, (self.source, self.target))
+
     def reversed(self) -> "AttributeCorrespondence":
         """The correspondence with source and target swapped."""
         return AttributeCorrespondence(self.target, self.source)

@@ -106,6 +106,14 @@ class RelationMapping:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("RelationMapping instances are immutable")
 
+    def __reduce__(self):
+        # Immutable __slots__ classes need explicit pickle support; the
+        # parallel lane ships mappings to worker processes.
+        return (
+            RelationMapping,
+            (self.source, self.target, self.correspondences, self.name),
+        )
+
     def source_for(self, target_attribute: str) -> str:
         """The source attribute mapped to ``target_attribute``.
 
@@ -222,6 +230,9 @@ class PMapping:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("PMapping instances are immutable")
 
+    def __reduce__(self):
+        return (PMapping, (self.source, self.target, self.alternatives))
+
     @property
     def mappings(self) -> tuple[RelationMapping, ...]:
         """The mappings, without their probabilities."""
@@ -305,6 +316,9 @@ class SchemaPMapping:
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("SchemaPMapping instances are immutable")
+
+    def __reduce__(self):
+        return (SchemaPMapping, (self.pmappings,))
 
     def for_target(self, relation_name: str) -> PMapping:
         """The p-mapping whose target relation is ``relation_name``."""

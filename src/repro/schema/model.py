@@ -107,6 +107,13 @@ class Attribute:
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Attribute instances are immutable")
 
+    def __reduce__(self):
+        # __slots__ plus the immutability guard breaks default pickling
+        # (unpickling would call __setattr__); reconstruct through the
+        # validating constructor instead.  The parallel execution lane
+        # ships schema objects to worker processes, so this matters.
+        return (Attribute, (self.name, self.type))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Attribute):
             return NotImplemented
@@ -157,6 +164,9 @@ class Relation:
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Relation instances are immutable")
+
+    def __reduce__(self):
+        return (Relation, (self.name, self.attributes))
 
     @property
     def attribute_names(self) -> tuple[str, ...]:
@@ -224,6 +234,9 @@ class Schema:
 
     def __setattr__(self, key: str, value: object) -> None:
         raise AttributeError("Schema instances are immutable")
+
+    def __reduce__(self):
+        return (Schema, (self.name, self.relations))
 
     def relation(self, name: str) -> Relation:
         """Look up a relation by name, raising :class:`SchemaError` if absent."""

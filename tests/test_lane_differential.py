@@ -1,0 +1,253 @@
+"""Differential fuzzing: every execution lane answers every query alike.
+
+Random relations, p-mappings, and WHERE clauses (comparisons, AND/OR/NOT,
+BETWEEN, IN — exercising the full three-valued-logic surface) run through
+every lane applicable to each PTIME by-tuple cell:
+
+* the scalar kernels (baseline),
+* the sharded **parallel** lane — which promises answers *bit-for-bit
+  equal* to the scalar lane (exact running sums, order-preserving
+  merges), so the comparison is strict ``==``,
+* the vectorized numpy lane — numerically independent (simd reductions
+  associate differently), so probability-weighted answers compare to
+  1e-9 while counts and min/max bounds stay exact,
+* the streaming accumulators,
+* ``answer_many(parallel=True)``, whose thread pool must return the same
+  answers in the same order as the sequential batch.
+
+Instances here are larger than the oracle's (up to ~50 rows): no
+enumeration is needed when lanes cross-check each other.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.answers import DistributionAnswer, ExpectedValueAnswer
+from repro.core.engine import AggregationEngine
+from repro.core.semantics import AggregateSemantics, MappingSemantics
+from repro.data import synthetic
+from repro.schema.correspondence import AttributeCorrespondence
+from repro.schema.mapping import PMapping, RelationMapping
+from repro.storage.table import Table
+
+#: The eight PTIME flat by-tuple cells the parallel lane covers.
+CELLS = [
+    ("COUNT(*)", AggregateSemantics.RANGE),
+    ("COUNT(*)", AggregateSemantics.DISTRIBUTION),
+    ("COUNT(*)", AggregateSemantics.EXPECTED_VALUE),
+    ("SUM(value)", AggregateSemantics.RANGE),
+    ("SUM(value)", AggregateSemantics.EXPECTED_VALUE),
+    ("AVG(value)", AggregateSemantics.RANGE),
+    ("MIN(value)", AggregateSemantics.RANGE),
+    ("MAX(value)", AggregateSemantics.RANGE),
+]
+
+_VALUES = st.integers(min_value=-5, max_value=9).map(float)
+
+_CONDITIONS = [
+    "value < {x}",
+    "value >= {x}",
+    "value BETWEEN {x} AND {y}",
+    "value NOT BETWEEN {x} AND {y}",
+    "value IN ({x}, {y}, {z})",
+    "NOT (value = {x})",
+    "value < {x} OR value > {y}",
+    "value >= {x} AND id <= {k}",
+    "value <= {x} AND (value > {y} OR id > {k})",
+]
+
+
+@st.composite
+def lane_problems(draw):
+    """A mid-sized instance plus a random WHERE clause."""
+    num_attributes = draw(st.integers(min_value=1, max_value=4))
+    num_mappings = draw(
+        st.integers(min_value=1, max_value=min(3, num_attributes))
+    )
+    num_rows = draw(st.integers(min_value=1, max_value=50))
+    relation = synthetic.source_relation(num_attributes)
+    rows = [
+        (i + 1,) + tuple(draw(_VALUES) for _ in range(num_attributes))
+        for i in range(num_rows)
+    ]
+    table = Table(relation, rows)
+    target = synthetic.mediated_relation()
+    attributes = draw(
+        st.permutations([f"a{i}" for i in range(1, num_attributes + 1)])
+    )[:num_mappings]
+    weights = [draw(st.integers(min_value=1, max_value=8)) for _ in attributes]
+    total = sum(weights)
+    pmapping = PMapping(
+        relation,
+        target,
+        [
+            (
+                RelationMapping(
+                    relation,
+                    target,
+                    [
+                        AttributeCorrespondence("id", "id"),
+                        AttributeCorrespondence(attribute, "value"),
+                    ],
+                    name=f"m{index + 1}",
+                ),
+                weight / total,
+            )
+            for index, (attribute, weight) in enumerate(
+                zip(attributes, weights)
+            )
+        ],
+    )
+    template = draw(st.sampled_from(_CONDITIONS))
+    where = template.format(
+        x=draw(st.integers(min_value=-4, max_value=9)),
+        y=draw(st.integers(min_value=-4, max_value=9)),
+        z=draw(st.integers(min_value=-4, max_value=9)),
+        k=draw(st.integers(min_value=0, max_value=50)),
+    )
+    return table, pmapping, where
+
+
+def _assert_vectorized_close(baseline, answer, label):
+    """Vectorized reductions associate differently: 1e-9 for float answers."""
+    if isinstance(baseline, ExpectedValueAnswer):
+        assert baseline.approx_equal(answer), label
+    elif isinstance(baseline, DistributionAnswer):
+        assert baseline.approx_equal(answer), label
+    else:
+        assert answer == baseline, label
+
+
+class TestLanesAgree:
+    @settings(max_examples=40, deadline=None)
+    @given(lane_problems())
+    def test_parallel_and_vectorized_match_scalar(self, case):
+        table, pmapping, where = case
+        scalar = AggregationEngine(table, pmapping)
+        vectorized = AggregationEngine(table, pmapping, vectorize=True)
+        parallel = AggregationEngine(
+            table,
+            pmapping,
+            max_workers=3,
+            min_rows_per_shard=1,
+            parallel_executor="thread",
+        )
+        with scalar, vectorized, parallel:
+            for aggregate, semantics in CELLS:
+                query = f"SELECT {aggregate} FROM MED WHERE {where}"
+                baseline = scalar.answer(
+                    query, MappingSemantics.BY_TUPLE, semantics
+                )
+                label = f"{aggregate}/{semantics.value} WHERE {where}"
+                assert (
+                    parallel.answer(query, MappingSemantics.BY_TUPLE, semantics)
+                    == baseline
+                ), f"parallel lane diverged: {label}"
+                _assert_vectorized_close(
+                    baseline,
+                    vectorized.answer(
+                        query, MappingSemantics.BY_TUPLE, semantics
+                    ),
+                    f"vectorized lane diverged: {label}",
+                )
+
+    @settings(max_examples=15, deadline=None)
+    @given(lane_problems())
+    def test_grouped_queries_fall_back_identically(self, case):
+        """GROUP BY stays off the parallel lane; the fallback must agree."""
+        table, pmapping, where = case
+        query = f"SELECT SUM(value) FROM MED WHERE {where} GROUP BY id"
+        scalar = AggregationEngine(table, pmapping)
+        parallel = AggregationEngine(
+            table,
+            pmapping,
+            max_workers=3,
+            min_rows_per_shard=1,
+            parallel_executor="thread",
+        )
+        with scalar, parallel:
+            baseline = scalar.answer(
+                query, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+            assert (
+                parallel.answer(
+                    query, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+                )
+                == baseline
+            )
+            # The planner never chose the parallel lane for the grouped query.
+            assert parallel.metrics_snapshot().get("parallel.hit", 0) == 0
+
+
+class TestAnswerMany:
+    @settings(max_examples=10, deadline=None)
+    @given(lane_problems())
+    def test_parallel_batch_matches_sequential(self, case):
+        table, pmapping, where = case
+        queries = [
+            f"SELECT {aggregate} FROM MED WHERE {where}"
+            for aggregate, _ in CELLS
+        ]
+        with AggregationEngine(table, pmapping, max_workers=4) as engine:
+            sequential = engine.answer_many(
+                queries, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+            threaded = engine.answer_many(
+                queries,
+                MappingSemantics.BY_TUPLE,
+                AggregateSemantics.RANGE,
+                parallel=True,
+            )
+        assert threaded == sequential
+
+    def test_sqlite_backend_answers_sequentially(self):
+        """A SQLite engine must not fan answer_many out over threads."""
+        relation = synthetic.source_relation(2)
+        table = synthetic.generate_source_table(
+            32, 2, seed=5, relation=relation
+        )
+        pmapping = synthetic.generate_pmapping(relation, 2, seed=5)
+        queries = [
+            "SELECT COUNT(*) FROM MED WHERE value < 400",
+            "SELECT COUNT(*) FROM MED WHERE value < 600",
+        ]
+        with AggregationEngine(
+            table, pmapping, backend="sqlite", max_workers=4
+        ) as engine:
+            parallel = engine.answer_many(
+                queries,
+                MappingSemantics.BY_TABLE,
+                AggregateSemantics.EXPECTED_VALUE,
+                parallel=True,
+            )
+            sequential = engine.answer_many(
+                queries,
+                MappingSemantics.BY_TABLE,
+                AggregateSemantics.EXPECTED_VALUE,
+            )
+        assert parallel == sequential
+
+
+class TestProcessPool:
+    def test_process_pool_matches_scalar_on_all_cells(self):
+        """The default process executor, end to end, on a non-trivial table."""
+        relation = synthetic.source_relation(3)
+        table = synthetic.generate_source_table(
+            8192, 3, seed=11, relation=relation
+        )
+        pmapping = synthetic.generate_pmapping(relation, 3, seed=11)
+        scalar = AggregationEngine(table, pmapping)
+        parallel = AggregationEngine(table, pmapping, max_workers=4)
+        with scalar, parallel:
+            for aggregate, semantics in CELLS:
+                query = f"SELECT {aggregate} FROM MED WHERE value < 500"
+                assert parallel.answer(
+                    query, MappingSemantics.BY_TUPLE, semantics
+                ) == scalar.answer(
+                    query, MappingSemantics.BY_TUPLE, semantics
+                ), f"{aggregate}/{semantics.value}"
+            snapshot = parallel.metrics_snapshot()
+        assert snapshot.get("parallel.hit", 0) == len(CELLS)
+        assert snapshot.get("parallel.fallback", 0) == 0
