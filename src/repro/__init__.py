@@ -24,6 +24,7 @@ Quickstart::
 
 from repro.core.answers import (
     AggregateAnswer,
+    BatchResult,
     DistributionAnswer,
     ExpectedValueAnswer,
     GroupedAnswer,
@@ -32,13 +33,17 @@ from repro.core.answers import (
 from repro.core.compile import CompiledQuery
 from repro.core.engine import AggregationEngine
 from repro.core.execute import ExecutionContext, PreparedQuery
+from repro.core.guard import Budget
 from repro.core.planner import ExecutionPlan, Lane, Planner, complexity_matrix
 from repro.core.semantics import AggregateOp, AggregateSemantics, MappingSemantics
 from repro.exceptions import (
+    BudgetExceededError,
     EngineClosedError,
     EvaluationError,
+    GuardrailError,
     IntractableError,
     MappingError,
+    QueryTimeoutError,
     ReformulationError,
     ReproError,
     SchemaError,
@@ -65,11 +70,15 @@ __all__ = [
     "Attribute",
     "AttributeCorrespondence",
     "AttributeType",
+    "BatchResult",
+    "Budget",
+    "BudgetExceededError",
     "CompiledQuery",
     "DiscreteDistribution",
     "DistributionAnswer",
     "EngineClosedError",
     "EvaluationError",
+    "GuardrailError",
     "ExecutionContext",
     "ExecutionPlan",
     "ExpectedValueAnswer",
@@ -82,6 +91,7 @@ __all__ = [
     "PMapping",
     "Planner",
     "PreparedQuery",
+    "QueryTimeoutError",
     "RangeAnswer",
     "ReformulationError",
     "Relation",

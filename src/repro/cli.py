@@ -29,6 +29,16 @@ Two performance subcommands round out the observability tooling::
     repro-bench profile --query "SELECT COUNT(*) FROM T" \\
         --msem by-tuple --asem distribution   # flat per-span profile
     repro-bench bench --suite quick           # registered benchmark suites
+
+``query`` accepts execution guardrails: ``--timeout-ms`` (wall-clock
+deadline), ``--max-worlds`` (cap on enumerated/sampled possible worlds),
+and ``--degrade`` (fall back to a cheaper lane instead of failing).
+
+Errors never print a traceback: they emit one ``error: ...`` line on
+stderr and exit with a code naming the failure class — 2 generic/usage,
+3 SQL syntax, 4 unsupported query, 5 schema, 6 mapping, 7 reformulation,
+8 storage, 9 intractable, 10 deadline, 11 budget, 12 other guardrail,
+13 evaluation (see :data:`EXIT_CODES`).
 """
 
 from __future__ import annotations
@@ -36,8 +46,42 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import exceptions
 from repro.bench import experiments
 from repro.obs.timers import Stopwatch
+
+#: Exit codes, most specific class first so ``isinstance`` walks resolve
+#: subclasses before their bases (EngineClosedError lands on StorageError's
+#: code, QueryTimeoutError beats GuardrailError).  Code 1 is reserved for
+#: shape-check failures, 2 for usage errors and errors outside this table.
+EXIT_CODES: tuple[tuple[type, int], ...] = (
+    (exceptions.QueryTimeoutError, 10),
+    (exceptions.BudgetExceededError, 11),
+    (exceptions.GuardrailError, 12),
+    (exceptions.IntractableError, 9),
+    (exceptions.SQLSyntaxError, 3),
+    (exceptions.UnsupportedQueryError, 4),
+    (exceptions.SchemaError, 5),
+    (exceptions.MappingError, 6),
+    (exceptions.ReformulationError, 7),
+    (exceptions.StorageError, 8),
+    (exceptions.EvaluationError, 13),
+)
+
+
+def _exit_code(error: BaseException) -> int:
+    """The exit code for ``error`` (most specific entry in EXIT_CODES)."""
+    for cls, code in EXIT_CODES:
+        if isinstance(error, cls):
+            return code
+    return 2
+
+
+def _fail(error: BaseException) -> int:
+    """Print a clean one-line error to stderr and return its exit code."""
+    message = " ".join(str(error).split())
+    print(f"error: {message}", file=sys.stderr)
+    return _exit_code(error)
 
 
 def _add_figure(subparsers, name: str, help_text: str):
@@ -102,7 +146,7 @@ def _run_figure(name: str, args: argparse.Namespace) -> bool:
 
 def _run_streamed_query(args: argparse.Namespace) -> int:
     """``query --stream``: fold the CSV through an accumulator, O(1) rows."""
-    from repro.core import streaming
+    from repro.core import guard, streaming
     from repro.core.semantics import AggregateSemantics
     from repro.exceptions import ReproError, UnsupportedQueryError
     from repro.schema.serialize import load_pmapping
@@ -145,16 +189,19 @@ def _run_streamed_query(args: argparse.Namespace) -> int:
                 f"no streaming accumulator for {cell[0].value} under the "
                 f"{cell[1].value} semantics"
             )
-        answer = streaming.answer_stream(
-            iter_csv_rows(pmapping.source, args.data),
-            pmapping.source,
-            pmapping,
-            query,
-            factory,
+        budget = guard.Budget(
+            timeout_ms=args.timeout_ms, max_worlds=args.max_worlds
         )
+        with guard.guarded(budget):
+            answer = streaming.answer_stream(
+                iter_csv_rows(pmapping.source, args.data),
+                pmapping.source,
+                pmapping,
+                query,
+                factory,
+            )
     except (ReproError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(error)
     print(answer)
     return 0
 
@@ -197,8 +244,7 @@ def _run_match(args: argparse.Namespace) -> int:
         pmapping = matcher.pmapping()
         save_pmapping(pmapping, args.output)
     except (ReproError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(error)
     print(f"wrote {len(pmapping)} candidate mappings to {args.output}:")
     for mapping, probability in pmapping:
         pairs = ", ".join(
@@ -220,6 +266,11 @@ def _render_plan(plan: dict, indent: int = 0) -> list[str]:
     lines.append(f"{pad}  lane: {plan['lane']}")
     lines.append(f"{pad}  complexity: {plan['complexity']}")
     lines.append(f"{pad}  fallback chain: {' -> '.join(plan['fallback_chain'])}")
+    degradation = plan.get("degradation_chain") or []
+    if degradation:
+        lines.append(
+            f"{pad}  degradation chain: {' -> '.join(degradation)}"
+        )
     if plan["paper_reference"]:
         lines.append(f"{pad}  paper: {plan['paper_reference']}")
     if plan["fallback"] is not None:
@@ -329,8 +380,7 @@ def _run_profile(args: argparse.Namespace) -> int:
                 samples=args.samples,
             )
     except (ReproError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(error)
     print(profile.render_json() if args.json else profile.render_text())
     return 0
 
@@ -368,6 +418,9 @@ def _run_query(args: argparse.Namespace) -> int:
             allow_exponential=args.allow_exponential,
             allow_sampling=args.samples is not None,
             max_workers=args.max_workers,
+            timeout_ms=args.timeout_ms,
+            max_worlds=args.max_worlds,
+            degrade=args.degrade,
         )
         with engine:
             if args.explain:
@@ -415,8 +468,7 @@ def _run_query(args: argparse.Namespace) -> int:
                 samples=args.samples,
             )
     except (ReproError, OSError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
+        return _fail(error)
     print(answer)
     return 0
 
@@ -489,6 +541,22 @@ def main(argv: list[str] | None = None) -> int:
         "--stream", action="store_true",
         help="single-pass streaming evaluation (by-tuple, flat queries; "
         "the CSV is never materialized, so it may exceed RAM)",
+    )
+    query_parser.add_argument(
+        "--timeout-ms", type=float, default=None, metavar="MS",
+        help="wall-clock deadline per execution; a query that overruns "
+        "aborts with QueryTimeoutError (exit code 10) unless --degrade "
+        "finds a cheaper lane",
+    )
+    query_parser.add_argument(
+        "--max-worlds", type=int, default=None, metavar="N",
+        help="cap on enumerated possible worlds (and sampling draws); "
+        "exceeding it aborts with BudgetExceededError (exit code 11)",
+    )
+    query_parser.add_argument(
+        "--degrade", action="store_true",
+        help="on a guardrail breach, degrade to a cheaper lane (parallel -> "
+        "streaming -> scalar; exponential -> sampling) instead of failing",
     )
     query_parser.add_argument(
         "--max-workers", type=int, default=None, metavar="N",

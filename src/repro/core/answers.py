@@ -267,3 +267,49 @@ class GroupedAnswer(AggregateAnswer):
     def __repr__(self) -> str:
         body = ", ".join(f"{k!r}: {v!r}" for k, v in self.groups.items())
         return f"GroupedAnswer({{{body}}})"
+
+
+class BatchResult(list):
+    """Per-query outcomes of a batch, in input order.
+
+    A ``list`` subclass, so callers that index or iterate a batch answer
+    keep working unchanged.  When the batch collects errors (the default
+    for parallel batches), a failed query's entry is the typed
+    :class:`~repro.exceptions.ReproError` it raised instead of an answer —
+    one bad query never voids its siblings' work.
+    """
+
+    @property
+    def errors(self) -> list[tuple[int, Exception]]:
+        """``(index, error)`` for every failed query, in input order."""
+        return [
+            (index, entry)
+            for index, entry in enumerate(self)
+            if isinstance(entry, Exception)
+        ]
+
+    @property
+    def answers(self) -> list[AggregateAnswer]:
+        """The successful answers only (failed queries omitted)."""
+        return [
+            entry for entry in self if not isinstance(entry, Exception)
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when every query in the batch succeeded."""
+        return not any(isinstance(entry, Exception) for entry in self)
+
+    def raise_first(self) -> "BatchResult":
+        """Raise the first collected error, if any; else return ``self``."""
+        for entry in self:
+            if isinstance(entry, Exception):
+                raise entry
+        return self
+
+    def __repr__(self) -> str:
+        failed = len(self.errors)
+        return (
+            f"BatchResult({len(self)} queries, "
+            f"{len(self) - failed} ok, {failed} failed)"
+        )

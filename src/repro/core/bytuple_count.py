@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 
+from repro.core import guard as guardmod
 from repro.core.answers import (
     AggregateAnswer,
     DistributionAnswer,
@@ -88,7 +89,14 @@ def count_distribution_dp(
     """
     probabilities = [1.0]  # P(count = 0) before any tuple
     dp_cells = 0
+    guard = guardmod.current_guard()
     for index, occ in enumerate(occurrence_probabilities):
+        if guard is not None:
+            # Each DP row is O(width) float work; a deadline must be able
+            # to stop a wide DP mid-table, and the support budget bounds
+            # the table's width.
+            guard.check_deadline()
+            guard.note_support(len(probabilities) + 1)
         if not -1e-12 <= occ <= 1.0 + 1e-12:
             raise EvaluationError(
                 f"occurrence probability {occ} outside [0, 1]"

@@ -31,6 +31,7 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Iterator
 
+from repro.core import guard as guardmod
 from repro.core.answers import AggregateAnswer, GroupedAnswer
 from repro.exceptions import UnsupportedQueryError
 from repro.schema.mapping import PMapping
@@ -168,7 +169,12 @@ class PreparedTupleQuery:
         predicates = self._predicates
         argument_indexes = self._argument_indexes
         is_count = self.op is AggregateOp.COUNT
+        guard = guardmod.current_guard()
         for values in self.rows:
+            if guard is not None:
+                # Every by-tuple kernel's row scan funnels through here, so
+                # one stride-throttled check covers all the scalar lanes.
+                guard.add_rows(1)
             row = Row(relation, values)
             vector = []
             for predicate, argument_index in zip(predicates, argument_indexes):

@@ -53,9 +53,10 @@ from collections.abc import Iterable, Mapping, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core import bytable
-from repro.core.answers import AggregateAnswer
+from repro.core.answers import AggregateAnswer, BatchResult
 from repro.core.compile import CompiledQuery, cache_key
 from repro.core.execute import ExecutionContext, PreparedQuery
+from repro.core.guard import Budget
 from repro.core.planner import AlgorithmSpec, ExecutionPlan, Planner
 from repro.core.semantics import (
     AggregateSemantics,
@@ -63,7 +64,12 @@ from repro.core.semantics import (
     coerce_aggregate_semantics,
     coerce_mapping_semantics,
 )
-from repro.exceptions import EvaluationError, IntractableError, MappingError
+from repro.exceptions import (
+    EvaluationError,
+    IntractableError,
+    MappingError,
+    ReproError,
+)
 from repro.obs import metrics, trace
 from repro.obs.timers import Stopwatch
 from repro.schema.mapping import PMapping, SchemaPMapping
@@ -117,6 +123,22 @@ class AggregationEngine:
         ``"process"`` (default) shards across a
         :class:`~concurrent.futures.ProcessPoolExecutor`; ``"thread"``
         uses threads (useful where processes cannot be spawned).
+    budget / timeout_ms / max_rows / max_worlds / max_support:
+        Execution guardrails (see :mod:`repro.core.guard` and
+        ``docs/robustness.md``): either a full
+        :class:`~repro.core.guard.Budget`, or the individual limits from
+        which one is built.  Every :meth:`answer` executes under these
+        limits (a per-call ``budget=`` overrides them), raising
+        :class:`~repro.exceptions.QueryTimeoutError` /
+        :class:`~repro.exceptions.BudgetExceededError` with a structured
+        partial-progress snapshot when one trips.
+    degrade:
+        When True, a guardrail breach walks the lane's explicit
+        degradation chain instead of raising: parallel work degrades to
+        the streaming then scalar lanes, exact exponential work to the
+        sampling estimator (its accuracy contract is recorded on the
+        context and in EXPLAIN ANALYZE).  The degraded rerun keeps the
+        resource budgets but not the already-spent deadline.
     """
 
     def __init__(
@@ -136,6 +158,12 @@ class AggregationEngine:
         max_workers: int | None = None,
         min_rows_per_shard: int | None = None,
         parallel_executor: str = "process",
+        budget: Budget | None = None,
+        timeout_ms: float | None = None,
+        max_rows: int | None = None,
+        max_worlds: int | None = None,
+        max_support: int | None = None,
+        degrade: bool = False,
     ) -> None:
         if isinstance(tables, Table):
             tables = [tables]
@@ -172,6 +200,19 @@ class AggregationEngine:
             raise EvaluationError(
                 f"unknown backend {backend!r} (choices: memory, sqlite)"
             )
+        limits = (timeout_ms, max_rows, max_worlds, max_support)
+        if budget is not None and any(v is not None for v in limits):
+            raise EvaluationError(
+                "pass either budget= or the individual limit keywords "
+                "(timeout_ms/max_rows/max_worlds/max_support), not both"
+            )
+        if budget is None and any(v is not None for v in limits):
+            budget = Budget(
+                timeout_ms=timeout_ms,
+                max_rows=max_rows,
+                max_worlds=max_worlds,
+                max_support=max_support,
+            )
         self.context = ExecutionContext(
             self._tables,
             self._schema_pmapping,
@@ -184,6 +225,8 @@ class AggregationEngine:
             max_workers=max_workers,
             min_rows_per_shard=min_rows_per_shard,
             parallel_executor=parallel_executor,
+            budget=budget,
+            degrade=degrade,
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -252,23 +295,30 @@ class AggregationEngine:
         samples: int | None = None,
         seed: int | None = None,
         max_sequences: int | None = None,
+        budget: Budget | None = None,
     ) -> AggregateAnswer:
         """Answer ``query`` under one semantics cell.
 
         Runs the full compile/plan/execute pipeline; the compile and plan
         stages are served from the engine's LRU caches on repeats.
+        ``budget`` overrides the engine's guardrails for this call only.
 
         Raises
         ------
         IntractableError
             When the cell has no PTIME algorithm and the engine's policy
             forbids both the exponential fallback and sampling.
+        QueryTimeoutError / BudgetExceededError
+            When a guardrail trips and degradation is off (or exhausted).
         """
         self.context.ensure_open()
         with trace.span("answer", query=cache_key(query)):
             plan = self.plan(query, mapping_semantics, aggregate_semantics)
             return plan.answer(
-                samples=samples, seed=seed, max_sequences=max_sequences
+                samples=samples,
+                seed=seed,
+                max_sequences=max_sequences,
+                budget=budget,
             )
 
     def answer_many(
@@ -281,7 +331,8 @@ class AggregationEngine:
         seed: int | None = None,
         max_sequences: int | None = None,
         parallel: bool = False,
-    ) -> list[AggregateAnswer]:
+        return_errors: bool | None = None,
+    ) -> BatchResult:
         """Answer a batch of queries under one semantics cell.
 
         Each query is prepared once (shared with any earlier
@@ -295,17 +346,34 @@ class AggregationEngine:
         concurrent prepare/plan calls are safe; a SQLite-backed engine
         answers sequentially regardless, since its connection must stay
         on one thread.
+
+        ``return_errors`` controls what a failing query does to the rest
+        of the batch: ``True`` records the typed
+        :class:`~repro.exceptions.ReproError` as that query's entry in the
+        returned :class:`~repro.core.answers.BatchResult` and keeps going;
+        ``False`` re-raises immediately.  The default (``None``) follows
+        ``parallel`` — a parallel batch must not be aborted by one bad
+        query, while a sequential loop keeps the historical raise-on-error
+        behaviour.
         """
         queries = list(queries)
+        if return_errors is None:
+            return_errors = parallel
 
-        def one(query: str | AggregateQuery) -> AggregateAnswer:
-            return self.prepare(query).answer(
-                mapping_semantics,
-                aggregate_semantics,
-                samples=samples,
-                seed=seed,
-                max_sequences=max_sequences,
-            )
+        def one(query: str | AggregateQuery) -> AggregateAnswer | Exception:
+            try:
+                return self.prepare(query).answer(
+                    mapping_semantics,
+                    aggregate_semantics,
+                    samples=samples,
+                    seed=seed,
+                    max_sequences=max_sequences,
+                )
+            except ReproError as error:
+                if not return_errors:
+                    raise
+                self.context.metrics.inc("batch.query_error")
+                return error
 
         if (
             parallel
@@ -320,8 +388,8 @@ class AggregationEngine:
             )
             workers = min(workers, len(queries))
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(one, queries))
-        return [one(query) for query in queries]
+                return BatchResult(pool.map(one, queries))
+        return BatchResult(one(query) for query in queries)
 
     # -- observability -----------------------------------------------------
 
@@ -380,7 +448,7 @@ class AggregationEngine:
                 )
         deltas = metrics.delta(before, registry.snapshot())
         plan = self.plan(query, mapping_semantics, aggregate_semantics)
-        return {
+        report = {
             "query": plan.compiled.text,
             "plan": plan.to_dict(),
             "answer": repr(answer),
@@ -389,6 +457,9 @@ class AggregationEngine:
             "spans": [root.to_dict() for root in sink.roots],
             "metrics": deltas,
         }
+        if self.context.last_degradation is not None:
+            report["degradation"] = dict(self.context.last_degradation)
+        return report
 
     def profile(
         self,

@@ -20,11 +20,15 @@ executions skip per-row predicate evaluation entirely.
 from __future__ import annotations
 
 import math
+import pickle
+import sqlite3
 import threading
 from collections import OrderedDict
 from collections.abc import Mapping
+from concurrent.futures import BrokenExecutor
 
 from repro.core import bytable
+from repro.core import guard as guardmod
 from repro.core.answers import (
     AggregateAnswer,
     DistributionAnswer,
@@ -35,7 +39,14 @@ from repro.core.answers import (
 from repro.core.common import run_prepared
 from repro.core.compile import CompiledQuery, cache_key, compile_query
 from repro.core.eval import apply_aggregate
-from repro.core.planner import EvaluationRequest, ExecutionPlan, Lane, Planner
+from repro.core.planner import (
+    EvaluationRequest,
+    ExecutionPlan,
+    Lane,
+    Planner,
+    _sampling_spec,
+    degradation_chain,
+)
 from repro.core.semantics import (
     AggregateSemantics,
     MappingSemantics,
@@ -45,10 +56,13 @@ from repro.core.semantics import (
 from repro.exceptions import (
     EngineClosedError,
     EvaluationError,
+    GuardrailError,
     IntractableError,
+    ReproError,
     UnsupportedQueryError,
 )
 from repro.obs import metrics, trace
+from repro.testing import faults
 from repro.schema.mapping import SchemaPMapping
 from repro.sql.ast import AggregateOp, AggregateQuery
 from repro.storage.sqlite_backend import SQLiteBackend
@@ -82,6 +96,8 @@ class ExecutionContext:
         max_workers: int | None = None,
         min_rows_per_shard: int | None = None,
         parallel_executor: str = "process",
+        budget: guardmod.Budget | None = None,
+        degrade: bool = False,
     ) -> None:
         from repro.core.parallel import DEFAULT_MIN_ROWS_PER_SHARD
 
@@ -93,6 +109,12 @@ class ExecutionContext:
         self.samples = samples
         self.seed = seed
         self.max_sequences = max_sequences
+        self.budget = budget
+        self.degrade = degrade
+        #: The most recent degradation event (``{"from", "to", "reason",
+        #: ...}``), consumed by EXPLAIN ANALYZE; ``None`` until a guard
+        #: breach successfully degraded.
+        self.last_degradation: dict | None = None
         self.columnar_cache: dict[str, object] = {}
         self.cache_size = cache_size
         self.max_workers = max_workers
@@ -180,6 +202,12 @@ class ExecutionContext:
         cache[key] = value
         cache.move_to_end(key)
         while len(cache) > self.cache_size:
+            if faults.maybe_fire("plan.cache.evict") is faults.CORRUPT:
+                # Injected eviction corruption: dropping the whole cache is
+                # the worst state an eviction bug could leave that is still
+                # *correct* (misses recompile; answers never change).
+                cache.clear()
+                return
             cache.popitem(last=False)
 
     def compile(self, query: str | AggregateQuery) -> CompiledQuery:
@@ -311,19 +339,40 @@ class PreparedQuery:
         samples: int | None = None,
         seed: int | None = None,
         max_sequences: int | None = None,
+        budget: guardmod.Budget | None = None,
     ) -> AggregateAnswer:
         """Answer one semantics cell, amortizing compilation and planning."""
         self._context.ensure_open()
         with trace.span("answer", query=self.compiled.text, prepared=True):
-            return self.plan_for(
-                mapping_semantics, aggregate_semantics
-            ).answer(samples=samples, seed=seed, max_sequences=max_sequences)
+            return self.plan_for(mapping_semantics, aggregate_semantics).answer(
+                samples=samples,
+                seed=seed,
+                max_sequences=max_sequences,
+                budget=budget,
+            )
 
     def __repr__(self) -> str:
         return f"PreparedQuery({self.text!r})"
 
 
 # -- plan execution --------------------------------------------------------
+
+#: Non-library exceptions an execution lane can surface when the machinery
+#: under it (worker pools, pickling, the OS, SQLite) fails.  The outermost
+#: execution frame translates these into a typed, chained
+#: :class:`EvaluationError` so callers always see a
+#: :class:`~repro.exceptions.ReproError` — the invariant the chaos suite
+#: asserts.
+_INFRA_ERRORS = (
+    OSError,
+    RuntimeError,
+    ValueError,
+    MemoryError,
+    TimeoutError,
+    BrokenExecutor,
+    pickle.PicklingError,
+    sqlite3.Error,
+)
 
 
 def execute_plan(
@@ -332,8 +381,63 @@ def execute_plan(
     samples: int | None = None,
     seed: int | None = None,
     max_sequences: int | None = None,
+    budget: guardmod.Budget | None = None,
 ) -> AggregateAnswer:
-    """Run a plan: dispatch on its lane, falling back where the lane allows.
+    """Run a plan under the engine's guardrails (stage 3 entry point).
+
+    The outermost frame owns the robustness machinery: it activates an
+    :class:`~repro.core.guard.ExecutionGuard` for the effective budget
+    (the ``budget`` override, else the context's), translates
+    infrastructure failures into typed errors, and — when the context
+    enables graceful degradation — walks the lane's degradation chain
+    after a guard breach.  Nested frames (inner plans, fallback re-entry)
+    detect the already-active guard and dispatch directly.
+    """
+    context = plan.context
+    context.ensure_open()
+    if guardmod.current_guard() is not None:
+        # An enclosing execute_plan frame already owns the guard,
+        # translation, and degradation; this is an inner plan.
+        return _dispatch(
+            plan, samples=samples, seed=seed, max_sequences=max_sequences
+        )
+    context.last_degradation = None
+    effective = budget if budget is not None else context.budget
+    try:
+        with guardmod.guarded(effective):
+            return _dispatch(
+                plan, samples=samples, seed=seed, max_sequences=max_sequences
+            )
+    except GuardrailError as error:
+        context.metrics.inc(f"guard.breach.{plan.lane}")
+        if not context.degrade:
+            raise
+        return _degrade(
+            plan,
+            error,
+            effective,
+            samples=samples,
+            seed=seed,
+            max_sequences=max_sequences,
+        )
+    except ReproError:
+        raise
+    except _INFRA_ERRORS as error:
+        context.metrics.inc("execute.infra_error")
+        raise EvaluationError(
+            f"execution failed on an infrastructure error: "
+            f"{type(error).__name__}: {error}"
+        ) from error
+
+
+def _dispatch(
+    plan: ExecutionPlan,
+    *,
+    samples: int | None = None,
+    seed: int | None = None,
+    max_sequences: int | None = None,
+) -> AggregateAnswer:
+    """Dispatch a plan on its lane, falling back where the lane allows.
 
     Each dispatch runs inside an ``execute.<lane>`` span; a conditional
     lane that declines at run time records ``execute.fallback.<lane>`` and
@@ -342,6 +446,8 @@ def execute_plan(
     """
     context = plan.context
     context.ensure_open()
+    if faults.maybe_fire("execute.dispatch") is faults.CORRUPT:
+        raise EvaluationError("corrupted dispatch state (injected fault)")
     lane = plan.lane
     with trace.span(
         "execute." + lane,
@@ -349,14 +455,16 @@ def execute_plan(
         algorithm=plan.spec.name if plan.spec is not None else None,
     ):
         if lane == Lane.BY_TABLE:
+            guard = guardmod.current_guard()
             reformulated_pairs = plan.compiled.reformulations()
             context.metrics.inc(
                 "bytable.reformulations", len(reformulated_pairs)
             )
-            results = [
-                (context.executor(reformulated), probability)
-                for reformulated, probability in reformulated_pairs
-            ]
+            results = []
+            for reformulated, probability in reformulated_pairs:
+                if guard is not None:
+                    guard.check_deadline()
+                results.append((context.executor(reformulated), probability))
             return bytable.combine_results(results, plan.aggregate_semantics)
         if lane == Lane.PARALLEL:
             from repro.core import parallel
@@ -367,7 +475,7 @@ def execute_plan(
                 return answer
             context.metrics.inc("parallel.fallback")
             context.metrics.inc(f"execute.fallback.{lane}")
-            return execute_plan(
+            return _dispatch(
                 plan.fallback,
                 samples=samples,
                 seed=seed,
@@ -380,11 +488,27 @@ def execute_plan(
                 return answer
             context.metrics.inc("vectorized.fallback")
             context.metrics.inc(f"execute.fallback.{lane}")
-            return execute_plan(
+            return _dispatch(
                 plan.fallback,
                 samples=samples,
                 seed=seed,
                 max_sequences=max_sequences,
+            )
+        if lane == Lane.STREAMING:
+            answer = _execute_streaming(plan)
+            if answer is not None:
+                context.metrics.inc("streaming.hit")
+                return answer
+            if plan.fallback is not None:
+                context.metrics.inc(f"execute.fallback.{lane}")
+                return _dispatch(
+                    plan.fallback,
+                    samples=samples,
+                    seed=seed,
+                    max_sequences=max_sequences,
+                )
+            raise EvaluationError(
+                "streaming lane cannot answer this plan shape"
             )
         if lane in (Lane.SCALAR, Lane.EXTENSION):
             return run_prepared(plan.compiled.prepared(), plan.spec.kernel)
@@ -396,7 +520,7 @@ def execute_plan(
                 return answer
             if plan.fallback is not None:
                 context.metrics.inc(f"execute.fallback.{lane}")
-                return execute_plan(
+                return _dispatch(
                     plan.fallback,
                     samples=samples,
                     seed=seed,
@@ -410,6 +534,161 @@ def execute_plan(
         if lane in (Lane.NAIVE, Lane.SAMPLING):
             return plan.spec.run(_request(plan, samples, seed, max_sequences))
     raise EvaluationError(f"unknown execution lane {lane!r}")
+
+
+def _execute_streaming(plan: ExecutionPlan) -> AggregateAnswer | None:
+    """The sequential accumulator fold, or ``None`` outside its fragment.
+
+    The degradation target below the parallel lane: same accumulators,
+    no pool — bounded memory, guard-checked row by row.
+    """
+    from repro.core import parallel
+    from repro.core.streaming import TupleStream
+
+    compiled = plan.compiled
+    query = compiled.query
+    if compiled.is_nested or query.group_by is not None:
+        return None
+    cell = (query.aggregate.op, plan.aggregate_semantics)
+    factory = parallel.PARALLEL_CELLS.get(cell)
+    if factory is None:
+        return None
+    guard = guardmod.current_guard()
+    stream = TupleStream.from_compiled(compiled)
+    accumulator = factory(stream)
+    streamed = 0
+    for values in compiled.table.rows:
+        if guard is not None:
+            guard.add_rows(1)
+        accumulator.add_row(values)
+        streamed += 1
+    plan.context.metrics.inc("streaming.rows", streamed)
+    return accumulator.result()
+
+
+def _degrade(
+    plan: ExecutionPlan,
+    error: GuardrailError,
+    budget: guardmod.Budget | None,
+    *,
+    samples: int | None,
+    seed: int | None,
+    max_sequences: int | None,
+) -> AggregateAnswer:
+    """Walk the lane's degradation chain after a guard breach.
+
+    Each degraded rerun keeps the resource budgets but drops the
+    wall-clock deadline (the original already spent it; re-arming would
+    trip instantly and make degradation unreachable).  A sampling-lane
+    rerun clamps its draw count to the worlds budget and records its
+    accuracy contract (the DKW epsilon for the recorded sample size) on
+    the context's ``last_degradation``.  When no chain target applies, or
+    every target breaches again, the last guardrail error propagates.
+    """
+    from repro.core import sampling
+
+    context = plan.context
+    relaxed = budget.without_deadline() if budget is not None else None
+    last_error: GuardrailError = error
+    for target in degradation_chain(plan.lane):
+        degraded = _degraded_plan(plan, target)
+        if degraded is None:
+            continue
+        context.metrics.inc("degraded.total")
+        context.metrics.inc(f"degraded.{plan.lane}.to.{target}")
+        degraded_samples = samples
+        if target == Lane.SAMPLING:
+            base = context.samples if samples is None else samples
+            limit = relaxed.max_worlds if relaxed is not None else None
+            degraded_samples = base if limit is None else min(base, limit)
+        with trace.span(
+            "execute.degrade",
+            from_lane=plan.lane,
+            to_lane=target,
+            reason=type(error).__name__,
+        ):
+            try:
+                with guardmod.guarded(relaxed):
+                    answer = _dispatch(
+                        degraded,
+                        samples=degraded_samples,
+                        seed=seed,
+                        max_sequences=max_sequences,
+                    )
+            except GuardrailError as breach:
+                context.metrics.inc(f"guard.breach.{target}")
+                last_error = breach
+                continue
+        record = {
+            "from": plan.lane,
+            "to": target,
+            "reason": type(error).__name__,
+            "progress": dict(error.progress),
+        }
+        if target == Lane.SAMPLING:
+            record["samples"] = degraded_samples
+            record["epsilon"] = sampling.dkw_epsilon(degraded_samples)
+            context.metrics.inc("degraded.sampling")
+        context.last_degradation = record
+        return answer
+    raise last_error
+
+
+def _degraded_plan(
+    plan: ExecutionPlan, target: str
+) -> ExecutionPlan | None:
+    """Build the plan for one degradation target, or ``None`` if outside
+    the target lane's fragment (the walk then tries the next target)."""
+    compiled = plan.compiled
+    if target == Lane.STREAMING:
+        from repro.core import parallel
+
+        if compiled.is_nested or compiled.query.group_by is not None:
+            return None
+        cell = (compiled.query.aggregate.op, plan.aggregate_semantics)
+        if cell not in parallel.PARALLEL_CELLS:
+            return None
+        return ExecutionPlan(
+            compiled,
+            plan.mapping_semantics,
+            plan.aggregate_semantics,
+            Lane.STREAMING,
+            plan.complexity,
+            plan.spec,
+            context=plan.context,
+        )
+    if target == Lane.SCALAR:
+        # Prefer the plan's own fallback chain: it already carries the
+        # scalar plan the planner chose for this cell.
+        node = plan.fallback
+        while node is not None:
+            if node.lane in (Lane.SCALAR, Lane.EXTENSION):
+                return node
+            node = node.fallback
+        spec = plan.spec
+        if spec is None or spec.kernel is None or compiled.is_nested:
+            return None
+        return ExecutionPlan(
+            compiled,
+            plan.mapping_semantics,
+            plan.aggregate_semantics,
+            Lane.SCALAR,
+            plan.complexity,
+            spec,
+            context=plan.context,
+        )
+    if target == Lane.SAMPLING:
+        spec = _sampling_spec(plan.aggregate_semantics)
+        return ExecutionPlan(
+            compiled,
+            plan.mapping_semantics,
+            plan.aggregate_semantics,
+            Lane.SAMPLING,
+            plan.complexity,
+            spec,
+            context=plan.context,
+        )
+    return None
 
 
 def _request(
@@ -474,7 +753,7 @@ def _execute_nested_range(plan: ExecutionPlan) -> RangeAnswer:
             "DISTINCT on the outer aggregate of a nested by-tuple range "
             "query is not supported"
         )
-    inner_answer = execute_plan(plan.inner_plan)
+    inner_answer = _dispatch(plan.inner_plan)
     if isinstance(inner_answer, GroupedAnswer):
         ranges = [r for _, r in inner_answer]
     else:

@@ -22,6 +22,7 @@ import itertools
 import math
 from collections.abc import Iterator
 
+from repro.core import guard as guardmod
 from repro.core.answers import (
     AggregateAnswer,
     DistributionAnswer,
@@ -115,8 +116,13 @@ def iter_sequence_results(
             f"query reads from {target_name!r} but the p-mapping targets "
             f"{target.name!r}"
         )
+    guard = guardmod.current_guard()
     n = len(projections)
     for sequence in itertools.product(range(len(pmapping)), repeat=n):
+        if guard is not None:
+            # Each sequence is one possible world: an O(n) materialization
+            # plus a full query evaluation, so check every iteration.
+            guard.add_worlds(1)
         world_rows = [
             projections[i][mapping_index]
             for i, mapping_index in enumerate(sequence)

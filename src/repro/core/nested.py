@@ -33,6 +33,7 @@ import functools
 import math
 from collections.abc import Sequence
 
+from repro.core import guard as guardmod
 from repro.exceptions import EvaluationError, UnsupportedQueryError
 from repro.prob.distribution import DiscreteDistribution
 from repro.sql.ast import AggregateOp
@@ -44,7 +45,12 @@ DEFAULT_MAX_SUPPORT = 200_000
 def _convolve_all(
     distributions: Sequence[DiscreteDistribution], max_support: int
 ) -> DiscreteDistribution:
+    guard = guardmod.current_guard()
+
     def convolve(a: DiscreteDistribution, b: DiscreteDistribution):
+        if guard is not None:
+            guard.note_support(len(a) * len(b))
+            guard.check_deadline()
         if len(a) * len(b) > max_support:
             raise EvaluationError(
                 "composed distribution support would exceed "

@@ -27,12 +27,15 @@ the algebra is ready when that lane grows.
 from __future__ import annotations
 
 import functools
+import logging
 import pickle
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 
+from repro.core import guard as guardmod
 from repro.core.semantics import AggregateSemantics
 from repro.core.streaming import (
+    Accumulator,
     DistributionCountAccumulator,
     ExpectedCountAccumulator,
     ExpectedSumAccumulator,
@@ -45,6 +48,9 @@ from repro.core.streaming import (
 )
 from repro.obs import trace
 from repro.sql.ast import AggregateOp
+from repro.testing import faults
+
+logger = logging.getLogger("repro.parallel")
 
 #: Below this many rows a shard is not worth a worker round-trip; inputs
 #: that cannot fill two shards stay on the sequential fast path.
@@ -102,16 +108,26 @@ def shard_rows(rows, shards: int):
 def fold_shard(payload):
     """Worker entry point: fold one shard of rows into an accumulator.
 
-    ``payload`` is ``(relation, pmapping, query, cell, rows)``.  The
-    stream (with its compiled predicate closures) is rebuilt here, on the
-    worker's side of the process boundary; the returned accumulator is
-    detached so it pickles back cleanly.
+    ``payload`` is ``(relation, pmapping, query, cell, rows, budget)``.
+    The stream (with its compiled predicate closures) is rebuilt here, on
+    the worker's side of the process boundary; the returned accumulator is
+    detached so it pickles back cleanly.  ``budget`` is the parent guard's
+    :meth:`~repro.core.guard.ExecutionGuard.exportable` budget (or
+    ``None``): the shard folds under its own guard, and a guardrail breach
+    pickles back through the pool as the typed error.
     """
-    relation, pmapping, query, cell, rows = payload
+    relation, pmapping, query, cell, rows, budget = payload
+    if faults.maybe_fire("parallel.shard") is faults.CORRUPT:
+        # A base-class accumulator can never merge with a real one: the
+        # merge side detects the corruption and raises a typed error.
+        return Accumulator(None)
     stream = TupleStream(relation, pmapping, query)
     accumulator = PARALLEL_CELLS[cell](stream)
-    for values in rows:
-        accumulator.add_row(values)
+    with guardmod.guarded(budget) as guard:
+        for values in rows:
+            if guard is not None:
+                guard.add_rows(1)
+            accumulator.add_row(values)
     return accumulator.detach()
 
 
@@ -150,22 +166,44 @@ def try_parallel(plan):
     )
     if shards < 2:
         return None
+    guard = guardmod.current_guard()
+    budget = guard.exportable() if guard is not None else None
     chunks = shard_rows(rows, shards)
     payloads = [
-        (compiled.table.relation, compiled.pmapping, query, cell, chunk)
+        (compiled.table.relation, compiled.pmapping, query, cell, chunk, budget)
         for chunk in chunks
     ]
     try:
+        if faults.maybe_fire("parallel.map") is faults.CORRUPT:
+            return None  # injected corruption: decline to the exact lanes
         pool = context.pool()
         with trace.span("parallel.map", shards=shards, rows=len(rows)):
             accumulators = list(pool.map(fold_shard, payloads))
-    except (BrokenExecutor, OSError, pickle.PicklingError):
+    except (BrokenExecutor, OSError, pickle.PicklingError) as error:
         # A sandboxed host (no fork), a dead pool, or an unpicklable
         # payload: the sequential fallback still answers correctly.
+        # Guardrail breaches inside a worker are NOT caught here — they
+        # pickle back as typed errors and propagate to the guard owner.
         context.reset_pool()
+        context.metrics.inc("parallel.pool_failure")
+        context.metrics.inc(
+            f"parallel.pool_failure.{type(error).__name__}"
+        )
+        logger.warning(
+            "parallel lane failed (%s: %s); falling back to the "
+            "sequential lane",
+            type(error).__name__,
+            error,
+        )
         return None
+    if guard is not None:
+        # Per-shard guards each saw only their slice; re-check the
+        # resource budgets against the merged total on the parent guard.
+        guard.add_rows(len(rows))
     context.metrics.inc("parallel.shards", shards)
     context.metrics.inc("parallel.rows", len(rows))
+    if faults.maybe_fire("parallel.merge") is faults.CORRUPT:
+        accumulators[0] = Accumulator(None)
     started = time.perf_counter_ns()
     with trace.span("parallel.merge", shards=shards):
         merged = merge_accumulators(accumulators)

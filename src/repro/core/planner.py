@@ -57,11 +57,33 @@ class Lane:
     SCALAR = "scalar"  # pure-Python PTIME by-tuple kernel
     VECTORIZED = "vectorized"  # numpy kernel, scalar fallback at run time
     PARALLEL = "parallel"  # sharded pool fold + merge, fallback at run time
+    STREAMING = "streaming"  # sequential accumulator fold (degradation target)
     EXTENSION = "extension"  # exact MIN/MAX distributions beyond the paper
     NESTED_RANGE = "nested-range"  # per-group range composition (Q2 shape)
     NESTED_COMPOSE = "nested-compose"  # independent-distribution composition
     NAIVE = "naive"  # exponential sequence enumeration
     SAMPLING = "sampling"  # Monte-Carlo estimation
+
+
+#: The explicit degradation chain a guard breach walks when the engine
+#: enables graceful degradation: each lane maps to the lanes tried next,
+#: cheapest-viable first.  Parallel work degrades to the sequential
+#: streaming fold, then the scalar kernel; exact exponential enumeration
+#: degrades to the sampling estimator (an approximate answer with a
+#: recorded accuracy contract beats a typed error when the caller opted
+#: in).  Lanes absent here are terminal: their breach propagates.
+DEGRADATION_CHAIN: dict[str, list[str]] = {
+    Lane.PARALLEL: [Lane.STREAMING, Lane.SCALAR],
+    Lane.STREAMING: [Lane.SCALAR],
+    Lane.VECTORIZED: [Lane.SCALAR],
+    Lane.NAIVE: [Lane.SAMPLING],
+    Lane.NESTED_COMPOSE: [Lane.SAMPLING],
+}
+
+
+def degradation_chain(lane: str) -> list[str]:
+    """The lanes a guard breach in ``lane`` degrades through, in order."""
+    return list(DEGRADATION_CHAIN.get(lane, ()))
 
 
 #: Cell key: (aggregate operator, mapping semantics, aggregate semantics).
@@ -431,6 +453,7 @@ class ExecutionPlan:
             "exact": spec.exact if spec is not None else True,
             "paper_reference": spec.paper_reference if spec is not None else "",
             "fallback_chain": self.fallback_chain,
+            "degradation_chain": degradation_chain(self.lane),
             "fallback": (
                 self.fallback.to_dict() if self.fallback is not None else None
             ),
@@ -447,12 +470,17 @@ class ExecutionPlan:
         samples: int | None = None,
         seed: int | None = None,
         max_sequences: int | None = None,
+        budget=None,
     ) -> AggregateAnswer:
         """Execute the plan (stage 3); overrides apply to this call only."""
         from repro.core.execute import execute_plan
 
         return execute_plan(
-            self, samples=samples, seed=seed, max_sequences=max_sequences
+            self,
+            samples=samples,
+            seed=seed,
+            max_sequences=max_sequences,
+            budget=budget,
         )
 
     def __repr__(self) -> str:

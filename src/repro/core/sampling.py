@@ -23,6 +23,7 @@ import itertools
 import math
 import random
 
+from repro.core import guard as guardmod
 from repro.core.answers import (
     AggregateAnswer,
     DistributionAnswer,
@@ -215,7 +216,10 @@ def _sample_flat(
     outcomes: dict[float, int] = {}
     undefined = 0
     op = prepared.op
+    guard = guardmod.current_guard()
     for _ in range(samples):
+        if guard is not None:
+            guard.add_worlds(1)
         contributions = []
         for vector in vectors:
             j = bisect.bisect_left(cumulative, rng.random())
@@ -255,7 +259,10 @@ def _sample_worlds(
     grouped_outcomes: dict[object, dict[float, int]] = {}
     grouped_defined: dict[object, int] = {}
     saw_grouped = False
+    guard = guardmod.current_guard()
     for _ in range(samples):
+        if guard is not None:
+            guard.add_worlds(1)
         world_rows = []
         for per_mapping in projections:
             j = bisect.bisect_left(cumulative, rng.random())

@@ -54,6 +54,7 @@ from repro.core.answers import (
     GroupedAnswer,
     RangeAnswer,
 )
+from repro.core import guard as guardmod
 from repro.core.bytuple_avg import _greedy_extreme_mean_from
 from repro.core.bytuple_count import count_distribution_dp
 from repro.core.compile import CompiledQuery
@@ -573,8 +574,11 @@ def answer_stream(
     with trace.span("execute.streaming", query=query.to_sql()):
         stream = TupleStream(relation, pmapping, query)
         accumulator = accumulator_factory(stream)
+        guard = guardmod.current_guard()
         streamed = 0
         for values in rows:
+            if guard is not None:
+                guard.add_rows(1)
             accumulator.add_row(values)
             streamed += 1
         metrics.inc("streaming.rows", streamed)

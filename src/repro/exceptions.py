@@ -82,3 +82,71 @@ class IntractableError(EvaluationError):
 
 class UnsupportedQueryError(ReproError):
     """The query shape is outside the supported aggregate-SQL subset."""
+
+
+def _rebuild_guardrail_error(cls, args, state):
+    error = cls(*args)
+    error.__dict__.update(state)
+    return error
+
+
+class GuardrailError(EvaluationError):
+    """An execution guardrail stopped a query before it finished.
+
+    Carries ``progress``: a structured snapshot of how far execution got
+    before the guard fired (rows scanned, worlds enumerated, largest
+    distribution support seen, elapsed milliseconds).  Subclasses say
+    *which* guardrail fired; catching this type handles both.
+    """
+
+    def __init__(self, message: str, *, progress: dict | None = None) -> None:
+        super().__init__(message)
+        self.progress: dict = dict(progress or {})
+
+    def __reduce__(self):
+        # Keep the structured payload across process boundaries (the
+        # parallel lane's workers raise these through pickle).
+        return (_rebuild_guardrail_error, (type(self), self.args, self.__dict__))
+
+
+class QueryTimeoutError(GuardrailError):
+    """The query's wall-clock deadline expired before it finished.
+
+    ``timeout_ms`` is the configured deadline; ``elapsed_ms`` the wall
+    clock actually spent before the cooperative check noticed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        timeout_ms: float | None = None,
+        elapsed_ms: float | None = None,
+        progress: dict | None = None,
+    ) -> None:
+        super().__init__(message, progress=progress)
+        self.timeout_ms = timeout_ms
+        self.elapsed_ms = elapsed_ms
+
+
+class BudgetExceededError(GuardrailError):
+    """A resource budget (rows, worlds, or support size) was exhausted.
+
+    ``resource`` names the budget dimension (``"rows"``, ``"worlds"``,
+    ``"support"``), ``limit`` its configured cap, and ``used`` the value
+    that tripped it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str | None = None,
+        limit: int | None = None,
+        used: int | None = None,
+        progress: dict | None = None,
+    ) -> None:
+        super().__init__(message, progress=progress)
+        self.resource = resource
+        self.limit = limit
+        self.used = used

@@ -14,13 +14,37 @@ operators order dates correctly without custom collations.
 from __future__ import annotations
 
 import datetime
+import random
 import sqlite3
+import time
 from collections.abc import Iterable, Sequence
 
 from repro.exceptions import StorageError
 from repro.obs import metrics
 from repro.schema.model import Attribute, AttributeType, Relation
 from repro.storage.table import Table
+from repro.testing import faults
+
+#: Retry policy for transient SQLite errors ("database is locked"/"busy"):
+#: up to :data:`MAX_RETRIES` re-attempts with capped, jittered exponential
+#: backoff starting at :data:`RETRY_BASE_DELAY` seconds.
+MAX_RETRIES = 4
+RETRY_BASE_DELAY = 0.005
+RETRY_MAX_DELAY = 0.1
+
+
+def _is_transient(error: sqlite3.Error) -> bool:
+    """True for lock/busy contention, which a short retry usually clears."""
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    message = str(error).lower()
+    return "locked" in message or "busy" in message
+
+
+def _retry_delay(attempt: int, rng=random.random) -> float:
+    """Capped exponential backoff with full jitter for retry ``attempt``."""
+    ceiling = min(RETRY_MAX_DELAY, RETRY_BASE_DELAY * (2 ** attempt))
+    return ceiling * rng()
 
 _SQLITE_TYPE = {
     AttributeType.INT: "INTEGER",
@@ -171,11 +195,38 @@ class SQLiteBackend:
         here, one query per candidate mapping — exactly the paper's Figure 1.
         """
         metrics.inc("sqlite.queries")
-        try:
-            cursor = self._connection.execute(sql, tuple(parameters))
-        except sqlite3.Error as exc:
-            raise StorageError(f"SQLite rejected query: {exc}\n  SQL: {sql}") from exc
+        cursor = self._execute_with_retry(sql, tuple(parameters))
         return cursor.fetchall()
+
+    def _execute_with_retry(self, sql: str, parameters: tuple):
+        """Execute, retrying transient lock/busy errors with backoff.
+
+        Non-transient SQLite errors (syntax, missing table, type mismatch)
+        raise :class:`~repro.exceptions.StorageError` immediately; the
+        transient ones retry up to :data:`MAX_RETRIES` times with capped,
+        jittered exponential backoff, counting ``sqlite.retries`` so
+        contention is visible in EXPLAIN ANALYZE.
+        """
+        attempt = 0
+        while True:
+            try:
+                faults.maybe_fire("sqlite.cursor")
+                return self._connection.execute(sql, parameters)
+            except sqlite3.Error as exc:
+                if _is_transient(exc) and attempt < MAX_RETRIES:
+                    metrics.inc("sqlite.retries")
+                    time.sleep(_retry_delay(attempt))
+                    attempt += 1
+                    continue
+                if _is_transient(exc):
+                    metrics.inc("sqlite.retries.exhausted")
+                    raise StorageError(
+                        f"SQLite stayed locked after {MAX_RETRIES} retries: "
+                        f"{exc}\n  SQL: {sql}"
+                    ) from exc
+                raise StorageError(
+                    f"SQLite rejected query: {exc}\n  SQL: {sql}"
+                ) from exc
 
     def scalar(self, sql: str, parameters: Sequence = ()) -> object:
         """Run raw SQL expected to return a single value."""

@@ -1,0 +1,7 @@
+"""Test-only machinery shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness: named
+failpoints compiled into the engine's seams that chaos tests arm to
+raise, delay, or corrupt.  Production code paths never import anything
+else from this package.
+"""

@@ -163,7 +163,7 @@ class TestQueryCli:
             "--mapping-semantics", "by-table",
             "--stream",
         ])
-        assert code == 2
+        assert code == 4  # UnsupportedQueryError
         assert "by-tuple" in capsys.readouterr().err
 
     def test_error_reporting(self, tmp_path, capsys):
@@ -177,5 +177,5 @@ class TestQueryCli:
             "--mapping", str(missing),
             "--query", "SELECT COUNT(*) FROM T1",
         ])
-        assert code == 2
+        assert code == 6  # MappingError: malformed p-mapping JSON
         assert "error:" in capsys.readouterr().err
