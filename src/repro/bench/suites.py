@@ -19,6 +19,8 @@ streaming       batch vs streaming vs vectorized (bench_streaming)
 parallel        sequential vs sharded pool execution at 200k tuples
                 (bench_parallel; baseline: ``BENCH_parallel.json``)
 prepared-reuse  one-shot answer() vs prepared plans (bench_prepared_reuse)
+columnar        row-walk scalar kernels vs the columnar array kernels on
+                the same cells (baseline: ``BENCH_columnar.json``)
 ablations       expected-COUNT methods and the MAX-distribution
                 extension (bench_ablation_*)
 ==============  =========================================================
@@ -501,3 +503,81 @@ def _ablation_extension_max():
             context.table, context.pmapping, query
         )
     ), context.close
+
+
+# -- columnar -----------------------------------------------------------------
+
+columnar_suite = register_suite(Suite(
+    "columnar",
+    "row-walk scalar kernels vs the columnar array kernels at 50k tuples "
+    "(baseline: BENCH_columnar.json)",
+))
+
+#: Large enough that the per-row interpreter overhead dominates the scalar
+#: walk; the columnar view is prebuilt so both sides time only the fold.
+_COLUMNAR_TUPLES = 50_000
+_COLUMNAR_ATTRIBUTES = 8
+_COLUMNAR_MAPPINGS = 5
+
+#: ``(case key, scalar one-shot, vectorized one-shot, aggregate op)``.
+#: The COUNT distribution cell is deliberately absent: its DP is O(n^2)
+#: in the qualifying-row count, so at this size it times the DP, not the
+#: storage layout.  Both expected-COUNT sides use the linear method.
+_COLUMNAR_CELLS = (
+    ("count.range", "by_tuple_range_count", "by_tuple_range_count_vec", "COUNT"),
+    ("count.expected", "by_tuple_expected_count", "by_tuple_expected_count_vec",
+     "COUNT"),
+    ("sum.range", "by_tuple_range_sum", "by_tuple_range_sum_vec", "SUM"),
+    ("sum.expected", "by_tuple_expected_sum", "by_tuple_expected_sum_vec", "SUM"),
+    ("avg.range", "by_tuple_range_avg", "by_tuple_range_avg_vec", "AVG"),
+    ("max.range", "by_tuple_range_max", "by_tuple_range_max_vec", "MAX"),
+)
+
+
+def _columnar_pair_case(key: str, scalar_name: str, vec_name: str, op: str,
+                        *, vectorized: bool):
+    def factory():
+        import repro.core.bytuple_avg as avg_mod
+        import repro.core.bytuple_count as count_mod
+        import repro.core.bytuple_minmax as minmax_mod
+        import repro.core.bytuple_sum as sum_mod
+        from repro.bench.contexts import make_synthetic_context
+        from repro.sql.ast import AggregateOp
+
+        context = make_synthetic_context(
+            _COLUMNAR_TUPLES, _COLUMNAR_ATTRIBUTES, _COLUMNAR_MAPPINGS,
+            prebuild_columnar=vectorized,
+        )
+        query = context.query(AggregateOp[op])
+        if vectorized:
+            from repro.core import vectorized as vec_mod
+
+            runner = getattr(vec_mod, vec_name)
+            ctable = context.columnar
+            return (
+                lambda: runner(ctable, context.pmapping, query)
+            ), context.close
+        scalar = None
+        for module in (count_mod, sum_mod, avg_mod, minmax_mod):
+            scalar = getattr(module, scalar_name, scalar)
+        if key == "count.expected":
+            return (
+                lambda: scalar(
+                    context.table, context.pmapping, query, method="linear"
+                )
+            ), context.close
+        return (
+            lambda: scalar(context.table, context.pmapping, query)
+        ), context.close
+
+    return factory
+
+
+for _key, _scalar, _vec, _op in _COLUMNAR_CELLS:
+    columnar_suite.case(f"rowwalk.{_key}")(
+        _columnar_pair_case(_key, _scalar, _vec, _op, vectorized=False)
+    )
+    if _HAVE_NUMPY:
+        columnar_suite.case(f"columnar.{_key}")(
+            _columnar_pair_case(_key, _scalar, _vec, _op, vectorized=True)
+        )

@@ -39,6 +39,10 @@ def range_count_kernel(
 ) -> RangeAnswer:
     """The Figure 2 fold over one prepared (ungrouped) problem."""
     metrics.inc("tuples.scanned", len(prepared.rows))
+    if trace is None and prepared.columnar_problem is not None:
+        from repro.core import vectorized
+
+        return vectorized.range_count_on(prepared.columnar_problem)
     low = 0
     up = 0
     for index, vector in enumerate(prepared.contribution_vectors()):
@@ -129,6 +133,10 @@ def distribution_count_kernel(
 ) -> DistributionAnswer:
     """The Figure 3 DP over one prepared (ungrouped) problem."""
     metrics.inc("tuples.scanned", len(prepared.rows))
+    if trace is None and prepared.columnar_problem is not None:
+        from repro.core import vectorized
+
+        return vectorized.distribution_count_on(prepared.columnar_problem)
     occurrence = [
         prepared.satisfaction_probability(vector)
         for vector in prepared.contribution_vectors()
@@ -206,6 +214,10 @@ def linear_expected_count_kernel(
 ) -> ExpectedValueAnswer:
     """Expected COUNT over one prepared problem, by linearity of expectation."""
     metrics.inc("tuples.scanned", len(prepared.rows))
+    if prepared.columnar_problem is not None:
+        from repro.core import vectorized
+
+        return vectorized.expected_count_on(prepared.columnar_problem)
     return ExpectedValueAnswer(
         math.fsum(
             prepared.satisfaction_probability(vector)

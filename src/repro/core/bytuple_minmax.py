@@ -38,6 +38,12 @@ def _minmax_range(
     prepared: PreparedTupleQuery, *, maximize: bool
 ) -> RangeAnswer:
     metrics.inc("tuples.scanned", len(prepared.rows))
+    if prepared.columnar_problem is not None:
+        from repro.core import vectorized
+
+        return vectorized.range_minmax_on(
+            prepared.columnar_problem, maximize=maximize
+        )
     forced_inner_extreme = -math.inf if maximize else math.inf
     any_inner_extreme = math.inf if maximize else -math.inf
     outer_extreme = -math.inf if maximize else math.inf

@@ -49,6 +49,10 @@ def range_sum_kernel(
     bit-for-bit equal to this kernel's.
     """
     metrics.inc("tuples.scanned", len(prepared.rows))
+    if trace is None and prepared.columnar_problem is not None:
+        from repro.core import vectorized
+
+        return vectorized.range_sum_on(prepared.columnar_problem)
     low = ExactSum()
     up = ExactSum()
     any_satisfiable = False
@@ -186,6 +190,10 @@ def expected_sum_kernel(prepared: PreparedTupleQuery) -> ExpectedValueAnswer:
     for long streams of small occurrence probabilities).
     """
     metrics.inc("tuples.scanned", len(prepared.rows))
+    if prepared.columnar_problem is not None:
+        from repro.core import vectorized
+
+        return vectorized.expected_sum_on(prepared.columnar_problem)
     total = ExactSum()
     log_empty = ExactSum()
     certain_empty_impossible = False

@@ -126,6 +126,9 @@ class PreparedTupleQuery:
         self._relation = relation
         self._vectors: list[ContributionVector] | None = None
         self._partitioned: dict[object, PreparedTupleQuery] | None = None
+        #: Array-backed materialization (a VectorizedProblem over the
+        #: columnar snapshot), the alternative to pinning ``_vectors``.
+        self._problem = None
 
     @property
     def mapping_count(self) -> int:
@@ -162,6 +165,8 @@ class PreparedTupleQuery:
         """
         if self._vectors is not None:
             return iter(self._vectors)
+        if self._problem is not None:
+            return self._problem.iter_vectors()
         return self._generate_vectors()
 
     def _generate_vectors(self) -> Iterator[ContributionVector]:
@@ -213,26 +218,78 @@ class PreparedTupleQuery:
 
     @property
     def is_materialized(self) -> bool:
-        """True once the contribution vectors are pinned in memory."""
-        return self._vectors is not None
+        """True once contribution state is pinned (vectors or arrays)."""
+        return self._vectors is not None or self._problem is not None
 
-    def materialize(self) -> "PreparedTupleQuery":
-        """Pin the contribution vectors (and partition) for re-execution.
+    @property
+    def columnar_problem(self):
+        """The array-backed materialization, or ``None``.
+
+        Set by :meth:`materialize` when given a numpy-backed columnar
+        snapshot of the source table; the scalar by-tuple kernels check it
+        first and fold contiguous column arrays instead of per-row Python
+        vectors (bit-identical answers, see :mod:`repro.core.vectorized`).
+        """
+        return self._problem
+
+    def materialize(self, columnar=None) -> "PreparedTupleQuery":
+        """Pin the contribution state (and partition) for re-execution.
 
         Costs one full evaluation pass and O(n * m) memory; afterwards every
-        algorithm run over this prepared query folds the pinned vectors
+        algorithm run over this prepared query folds the pinned state
         without re-evaluating any predicate.  Idempotent.  The pinned state
         reflects the table rows at call time — mutating the table afterwards
         requires a freshly prepared query.
+
+        Parameters
+        ----------
+        columnar:
+            An optional :class:`~repro.storage.columnar.ColumnarTable`
+            snapshot of the source table.  When it is numpy-backed, covers
+            exactly this problem's rows, and the query sits inside the
+            vectorizable fragment, materialization pins an array-backed
+            problem (contiguous participation masks and value columns)
+            instead of per-row vector tuples; otherwise it falls back to
+            pinning the vectors as before.
         """
-        if self._vectors is None:
-            self._vectors = list(self._generate_vectors())
+        if self._vectors is None and self._problem is None:
+            if columnar is not None:
+                self._problem = self._columnar_problem_or_none(columnar)
+            if self._problem is None:
+                self._vectors = list(self._generate_vectors())
             # Any partition built before pinning lacks the vectors; the
             # next partition() call rebuilds the subs over the pinned list.
             self._partitioned = None
         if self._group_index is not None:
             self.partition()
         return self
+
+    def _columnar_problem_or_none(self, columnar):
+        """Build the array-backed problem, or ``None`` outside the fragment.
+
+        Declines — leaving the row-vector path to serve — for grouped
+        queries (the partitioner hands each group its row slice), a
+        pure-Python or stale snapshot, or queries the vectorized fragment
+        cannot express (non-numeric aggregate arguments, conditions the
+        mask compiler rejects).
+        """
+        from repro.core import vectorized
+
+        if not vectorized.HAVE_NUMPY:
+            return None
+        if self._group_index is not None:
+            return None
+        if (
+            columnar.backend != "numpy"
+            or columnar.row_count != len(self.rows)
+        ):
+            return None
+        try:
+            return vectorized.VectorizedProblem(
+                columnar, self.pmapping, self.query
+            )
+        except (vectorized.ColumnarError, UnsupportedQueryError):
+            return None
 
     # -- grouping ------------------------------------------------------------
 
@@ -274,6 +331,7 @@ class PreparedTupleQuery:
             sub._relation = self._relation
             sub._vectors = vector_buckets.get(key)
             sub._partitioned = None
+            sub._problem = None
             out[key] = sub
         self._partitioned = out
         return out

@@ -114,19 +114,23 @@ class CompiledQuery:
                 )
         return self._reformulations
 
-    def materialize(self) -> "CompiledQuery":
+    def materialize(self, columnar=None) -> "CompiledQuery":
         """Pin the contribution vectors for repeated execution.
 
         Delegates to :meth:`PreparedTupleQuery.materialize` on the flat
         level actually scanned (the inner query for nested shapes); a no-op
-        for queries outside the by-tuple fragment.  Idempotent.
+        for queries outside the by-tuple fragment.  Idempotent.  When a
+        :class:`~repro.storage.columnar.ColumnarTable` snapshot of the
+        source table is supplied, the prepared query materializes as an
+        array-backed problem instead of per-row vectors where it can (see
+        :meth:`PreparedTupleQuery.materialize`).
         """
         target = self.inner if self.inner is not None else self
         prepared = target.prepared_or_none()
         if prepared is not None and not prepared.is_materialized:
             metrics.inc("prepared.materializations")
             with trace.span("compile.materialize", query=self.text):
-                prepared.materialize()
+                prepared.materialize(columnar=columnar)
         return self
 
     def __repr__(self) -> str:

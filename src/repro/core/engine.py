@@ -72,6 +72,7 @@ from repro.exceptions import (
 )
 from repro.obs import metrics, trace
 from repro.obs.timers import Stopwatch
+from repro.storage.columnar import ColumnarTable
 from repro.schema.mapping import PMapping, SchemaPMapping
 from repro.sql.ast import AggregateQuery
 from repro.sql.parser import parse_query
@@ -103,11 +104,15 @@ class AggregationEngine:
     allow_exponential / allow_sampling / use_extensions:
         Convenience flags forwarded to the default planner.
     vectorize:
-        Route the PTIME by-tuple algorithms through the numpy fast path
+        Route the PTIME by-tuple algorithms (including GROUP BY over a
+        certain grouping attribute) through the columnar numpy fast path
         (:mod:`repro.core.vectorized`) when the query and data allow it,
-        falling back to the scalar implementations otherwise.  The columnar
-        view of each table is built lazily and cached for the engine's
-        lifetime, so repeated queries amortize it.
+        falling back to the scalar implementations otherwise — including
+        when numpy is not installed (``pip install repro[fast]`` declares
+        the optional dependency).  The columnar snapshot of each table
+        (:class:`~repro.storage.columnar.ColumnarTable`) is built lazily
+        and cached until :meth:`invalidate`/:meth:`close`, so repeated
+        queries amortize it.
     samples / seed / max_sequences:
         Defaults for the sampling estimator and the naive-enumeration
         guard; individual :meth:`answer` calls can override them.
@@ -232,9 +237,18 @@ class AggregationEngine:
     # -- lifecycle ---------------------------------------------------------
 
     @property
-    def _columnar_cache(self) -> dict[str, object]:
+    def _columnar_cache(self) -> dict[str, ColumnarTable]:
         # Backwards-compatible alias; the cache now lives on the context.
         return self.context.columnar_cache
+
+    def invalidate(self) -> None:
+        """Drop every cached artifact (compiled, plans, prepared, columnar).
+
+        Call after mutating a source table: cached columnar snapshots and
+        pinned prepared queries reflect the rows at build time and would
+        otherwise keep answering from stale data.
+        """
+        self.context.invalidate()
 
     def close(self) -> None:
         """Release the SQLite backend (if any) and the worker pool.

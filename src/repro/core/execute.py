@@ -65,6 +65,7 @@ from repro.obs import metrics, trace
 from repro.testing import faults
 from repro.schema.mapping import SchemaPMapping
 from repro.sql.ast import AggregateOp, AggregateQuery
+from repro.storage.columnar import ColumnarTable
 from repro.storage.sqlite_backend import SQLiteBackend
 from repro.storage.table import Table
 
@@ -115,7 +116,12 @@ class ExecutionContext:
         #: ...}``), consumed by EXPLAIN ANALYZE; ``None`` until a guard
         #: breach successfully degraded.
         self.last_degradation: dict | None = None
-        self.columnar_cache: dict[str, object] = {}
+        #: Build-once columnar snapshots keyed by source-relation name,
+        #: shared by the vectorized lane, the array-backed prepared
+        #: queries, and the parallel lane's column-slice shards.  Dropped
+        #: by :meth:`invalidate` and :meth:`close` (build-once semantics:
+        #: an entry reflects the table rows at build time).
+        self.columnar_cache: dict[str, ColumnarTable] = {}
         self.cache_size = cache_size
         self.max_workers = max_workers
         self.min_rows_per_shard = (
@@ -151,16 +157,18 @@ class ExecutionContext:
         """Release the SQLite backend (if any) and refuse further execution.
 
         Also shuts down the parallel worker pool (a memory-backed engine
-        that keeps answering lazily recreates it) and resets the
-        per-context metric state: a closed context must not keep reporting
-        the cache traffic of its previous life (the process-wide parent
-        registry retains the cumulative totals).
+        that keeps answering lazily recreates it), drops the cached
+        columnar snapshots, and resets the per-context metric state: a
+        closed context must not keep reporting the cache traffic of its
+        previous life (the process-wide parent registry retains the
+        cumulative totals).
         """
         self.reset_pool()
         if self.backend is not None:
             self.backend.close()
             self.backend = None
             self.closed = True
+        self.columnar_cache.clear()
         self.metrics.reset()
 
     def pool(self):
@@ -195,6 +203,22 @@ class ExecutionContext:
             self._prepared.clear()
             self.columnar_cache.clear()
             self.metrics.reset()
+
+    def columnar_for(self, compiled: CompiledQuery) -> ColumnarTable:
+        """The cached columnar snapshot of one compiled query's table.
+
+        Built once per source relation and shared across lanes.  A cached
+        entry whose row count no longer matches the table is rebuilt (a
+        defensive guard; :meth:`invalidate` after mutating a table remains
+        the contract — a same-length data swap is only caught there).
+        """
+        name = compiled.pmapping.source.name
+        with self._lock:
+            columnar = self.columnar_cache.get(name)
+            if columnar is None or columnar.row_count != len(compiled.table):
+                columnar = ColumnarTable(compiled.table)
+                self.columnar_cache[name] = columnar
+            return columnar
 
     # -- caches ------------------------------------------------------------
 
@@ -328,7 +352,14 @@ class PreparedQuery:
             coerce_aggregate_semantics(aggregate_semantics),
         )
         if plan.uses_prepared_tuples:
-            self.compiled.materialize()
+            from repro.storage.columnar import HAVE_NUMPY
+
+            columnar = (
+                self._context.columnar_for(self.compiled)
+                if HAVE_NUMPY
+                else None
+            )
+            self.compiled.materialize(columnar=columnar)
         return plan
 
     def answer(
@@ -720,21 +751,19 @@ def _try_vectorized(plan: ExecutionPlan) -> AggregateAnswer | None:
     """The numpy lane, or ``None`` when the query/data falls outside it."""
     from repro.core import vectorized
 
+    if not vectorized.HAVE_NUMPY:
+        return None
     compiled = plan.compiled
     cell = (compiled.query.aggregate.op, plan.aggregate_semantics)
     scalar_vectorized = vectorized.VECTORIZED_CELLS.get(cell)
     if scalar_vectorized is None:
         return None
-    name = compiled.pmapping.source.name
     try:
-        columnar = plan.context.columnar_cache.get(name)
-        if columnar is None:
-            columnar = vectorized.ColumnarTable(compiled.table)
-            plan.context.columnar_cache[name] = columnar
+        columnar = plan.context.columnar_for(compiled)
         return vectorized.run_grouped_vectorized(
             columnar, compiled.pmapping, compiled.query, scalar_vectorized
         )
-    except vectorized.VectorizationError:
+    except vectorized.ColumnarError:
         return None
 
 

@@ -14,9 +14,21 @@ when the engine sets ``max_workers`` and the cell is in
 :data:`PARALLEL_CELLS`; :func:`try_parallel` declines at run time (to the
 plan's fallback chain) when the input is too small to shard profitably —
 fewer than two shards of ``min_rows_per_shard`` rows — or when the host
-cannot spawn workers.  Workers receive ``(relation, p-mapping, query,
-cell, rows)`` payloads (all picklable; compiled predicate closures are
-rebuilt per worker) and return detached accumulators.
+cannot spawn workers.
+
+Shards come in two shapes.  When the query sits inside the vectorized
+fragment and a numpy-backed
+:class:`~repro.storage.columnar.ColumnarTable` snapshot is available
+(built once, cached on the execution context), each shard is a
+**zero-copy column slice** of the snapshot
+(:meth:`~repro.storage.columnar.ColumnarTable.slice_rows`) and the
+worker folds it with the array kernels of :mod:`repro.core.vectorized`
+(:func:`fold_columnar_shard`) — composing the vectorized and parallel
+lanes.  Otherwise workers receive ``(relation, p-mapping, query, cell,
+rows)`` row-list payloads (all picklable; compiled predicate closures
+are rebuilt per worker) and fold row by row (:func:`fold_shard`).
+Either way the returned accumulators carry exact mergeable state, so
+the merged answer stays bit-for-bit equal to the sequential fold.
 
 Grouped and nested queries keep their existing lanes: sharding them
 would need per-group fan-out across workers, which the flat fold does
@@ -87,22 +99,26 @@ def shard_count(
     return min(max_workers, row_count // per_shard + (row_count % per_shard > 0))
 
 
-def shard_rows(rows, shards: int):
-    """Split ``rows`` into ``shards`` contiguous, near-equal chunks.
+def shard_bounds(row_count: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal ``[start, stop)`` bounds for each shard.
 
     Contiguity matters: merging in shard order then replays order-dependent
     float work (the COUNT DP, AVG's optional lists) exactly as a
     sequential pass would.
     """
-    n = len(rows)
-    base, extra = divmod(n, shards)
-    chunks = []
+    base, extra = divmod(row_count, shards)
+    bounds = []
     start = 0
     for i in range(shards):
         size = base + (1 if i < extra else 0)
-        chunks.append(rows[start:start + size])
+        bounds.append((start, start + size))
         start += size
-    return chunks
+    return bounds
+
+
+def shard_rows(rows, shards: int):
+    """Split ``rows`` into ``shards`` contiguous, near-equal chunks."""
+    return [rows[start:stop] for start, stop in shard_bounds(len(rows), shards)]
 
 
 def fold_shard(payload):
@@ -131,6 +147,30 @@ def fold_shard(payload):
     return accumulator.detach()
 
 
+def fold_columnar_shard(payload):
+    """Worker entry point: fold one zero-copy column slice.
+
+    ``payload`` is ``(ctable_slice, pmapping, query, cell, budget)``.  The
+    slice carries only its own rows across a process boundary (the numpy
+    views pickle as compact copies); the array kernels rebuild the
+    participation masks on the worker's side and
+    :func:`~repro.core.vectorized.accumulator_for_problem` folds them
+    into exactly the detached accumulator state a sequential row fold of
+    the slice would produce — so merging in shard order stays bit-for-bit
+    equal to the scalar lane.
+    """
+    from repro.core import vectorized
+
+    ctable, pmapping, query, cell, budget = payload
+    if faults.maybe_fire("parallel.shard") is faults.CORRUPT:
+        return Accumulator(None)
+    with guardmod.guarded(budget) as guard:
+        if guard is not None:
+            guard.add_rows(ctable.row_count)
+        problem = vectorized.VectorizedProblem(ctable, pmapping, query)
+        return vectorized.accumulator_for_problem(cell, problem)
+
+
 def make_pool(kind: str, max_workers: int):
     """A worker pool: ``"process"`` (default) or ``"thread"``."""
     if kind == "thread":
@@ -142,6 +182,43 @@ def make_pool(kind: str, max_workers: int):
     raise EvaluationError(
         f"unknown parallel executor {kind!r} (choices: process, thread)"
     )
+
+
+def _columnar_payloads(context, compiled, query, cell, shards, budget):
+    """Zero-copy column-slice shard payloads, or ``None`` to use row lists.
+
+    The vectorized+parallel composition: requires numpy, a numpy-backed
+    cached :class:`~repro.storage.columnar.ColumnarTable` for the source
+    relation, and a query inside the vectorizable fragment (probed on an
+    empty slice before any worker is engaged, so an out-of-fragment
+    condition declines here instead of failing on the pool).
+    """
+    from repro.core import vectorized
+    from repro.exceptions import UnsupportedQueryError
+
+    if not vectorized.HAVE_NUMPY:
+        return None
+    if cell not in vectorized.VECTORIZED_CELLS:
+        return None
+    try:
+        ctable = context.columnar_for(compiled)
+        if ctable.backend != "numpy":
+            return None
+        vectorized.VectorizedProblem(
+            ctable.slice_rows(0, 0), compiled.pmapping, query
+        )
+    except (vectorized.ColumnarError, UnsupportedQueryError):
+        return None
+    return [
+        (
+            ctable.slice_rows(start, stop),
+            compiled.pmapping,
+            query,
+            cell,
+            budget,
+        )
+        for start, stop in shard_bounds(ctable.row_count, shards)
+    ]
 
 
 def try_parallel(plan):
@@ -168,17 +245,29 @@ def try_parallel(plan):
         return None
     guard = guardmod.current_guard()
     budget = guard.exportable() if guard is not None else None
-    chunks = shard_rows(rows, shards)
-    payloads = [
-        (compiled.table.relation, compiled.pmapping, query, cell, chunk, budget)
-        for chunk in chunks
-    ]
+    payloads = _columnar_payloads(context, compiled, query, cell, shards, budget)
+    if payloads is not None:
+        worker = fold_columnar_shard
+        context.metrics.inc("parallel.columnar_shards", shards)
+    else:
+        worker = fold_shard
+        payloads = [
+            (
+                compiled.table.relation,
+                compiled.pmapping,
+                query,
+                cell,
+                chunk,
+                budget,
+            )
+            for chunk in shard_rows(rows, shards)
+        ]
     try:
         if faults.maybe_fire("parallel.map") is faults.CORRUPT:
             return None  # injected corruption: decline to the exact lanes
         pool = context.pool()
         with trace.span("parallel.map", shards=shards, rows=len(rows)):
-            accumulators = list(pool.map(fold_shard, payloads))
+            accumulators = list(pool.map(worker, payloads))
     except (BrokenExecutor, OSError, pickle.PicklingError) as error:
         # A sandboxed host (no fork), a dead pool, or an unpicklable
         # payload: the sequential fallback still answers correctly.

@@ -566,7 +566,16 @@ class Planner:
 
         The single place lane selection happens.  ``context`` is the
         engine's :class:`~repro.core.execute.ExecutionContext`; its
-        ``vectorize`` flag gates the numpy lane.
+        ``vectorize`` flag gates the columnar numpy lane.  Columnar
+        availability is a storage-layer property: the lane is only
+        planned when :data:`repro.storage.columnar.HAVE_NUMPY` holds (a
+        no-numpy install keeps the scalar plan), and its vectorizable
+        fragment now includes GROUP BY over a certain grouping attribute
+        (column-array partitioning in
+        :func:`repro.core.vectorized.run_grouped_vectorized`); queries
+        outside the fragment — nested shapes, non-numeric aggregate
+        arguments, conditions the mask compiler cannot express — decline
+        at run time to the scalar fallback plan.
 
         Raises
         ------
@@ -608,7 +617,10 @@ class Planner:
         if context is not None and context.vectorize:
             from repro.core import vectorized
 
-            if (op, aggregate_semantics) in vectorized.VECTORIZED_CELLS:
+            if (
+                vectorized.HAVE_NUMPY
+                and (op, aggregate_semantics) in vectorized.VECTORIZED_CELLS
+            ):
                 chosen = ExecutionPlan(
                     compiled,
                     mapping_semantics,

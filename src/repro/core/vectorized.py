@@ -4,34 +4,49 @@ The paper's prototype was Java over PostgreSQL; a pure-Python per-tuple
 loop pays ~1 microsecond of interpreter overhead per (tuple, mapping)
 pair, which would cap the large-scale experiments (Figures 11-12 run to
 millions of tuples) at unrealistic sizes.  This module reimplements the
-by-tuple range algorithms and the COUNT dynamic program on numpy arrays:
-conditions compile to boolean masks, contributions to ``(mappings x
-tuples)`` matrices, and the per-tuple folds to array reductions.
+by-tuple algorithms over the columnar storage layer
+(:class:`~repro.storage.columnar.ColumnarTable`): conditions compile to
+Kleene three-valued ``(true, unknown)`` mask pairs, contributions to
+``(mappings x tuples)`` matrices, and the per-tuple folds to array
+reductions.
 
-It is an *optimization*, not a semantic variant: every function returns
-bit-identical logic to its scalar counterpart in
+It is an *optimization*, not a semantic variant: every kernel here is
+**bit-identical** to its scalar counterpart in
 :mod:`repro.core.bytuple_count` / ``bytuple_sum`` / ``bytuple_avg`` /
-``bytuple_minmax`` (cross-checked by the test suite and the ablation
-benchmark).  Queries outside the vectorizable fragment — non-numeric
-aggregate columns, LIKE/IS NULL over unsupported dtypes, nested queries —
-raise :class:`VectorizationError`; callers fall back to the scalar path.
+``bytuple_minmax`` (cross-checked by the lane-differential and oracle
+suites).  The probability-weighted folds reach bit-identity by factoring
+every per-row float reduction through the same primitives as the scalar
+lane — ``math.fsum`` over identical addend multisets, the shared
+:func:`~repro.core.bytuple_avg._greedy_extreme_mean_from` greedy, and a
+participation-pattern dedup (rows with the same qualification pattern
+share one exactly-computed occurrence probability).
+
+Queries or data outside the vectorizable fragment — non-numeric or DATE
+aggregate arguments, nested queries, a missing numpy — raise
+:class:`VectorizationError` (a :class:`~repro.storage.columnar.ColumnarError`);
+callers fall back to the scalar path.  NULLs and GROUP BY are *inside*
+the fragment: null masks feed the three-valued compiler, and grouped
+queries partition the column arrays per group key.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import math
 
+from repro.core import guard as guardmod
 from repro.core.answers import (
     DistributionAnswer,
     ExpectedValueAnswer,
+    GroupedAnswer,
     RangeAnswer,
 )
+from repro.core.bytuple_avg import _greedy_extreme_mean_from
+from repro.core.exactsum import ExactSum
 from repro.core.semantics import AggregateSemantics
-from repro.exceptions import ReproError, UnsupportedQueryError
+from repro.exceptions import EvaluationError, UnsupportedQueryError
 from repro.obs import metrics
 from repro.prob.distribution import DiscreteDistribution
 from repro.schema.mapping import PMapping
-from repro.schema.model import AttributeType, Relation
 from repro.sql.ast import (
     AggregateOp,
     AggregateQuery,
@@ -42,233 +57,310 @@ from repro.sql.ast import (
     Condition,
     InPredicate,
     IsNullPredicate,
+    LikePredicate,
     Literal,
     NotCondition,
     SubquerySource,
 )
+from repro.sql.conditions import _coerce_literal, _like_to_regex
 from repro.sql.reformulate import reformulate_query
-from repro.storage.table import Table
+from repro.storage.columnar import HAVE_NUMPY, ColumnarError, ColumnarTable
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+__all__ = [
+    "ColumnarTable",
+    "ColumnarError",
+    "HAVE_NUMPY",
+    "VectorizationError",
+    "VectorizedProblem",
+    "VECTORIZED_CELLS",
+    "run_grouped_vectorized",
+    "accumulator_for_problem",
+]
 
 
-class VectorizationError(ReproError):
+class VectorizationError(ColumnarError):
     """The query or data falls outside the vectorizable fragment."""
 
 
-class ColumnarTable:
-    """Column-major numpy view of a :class:`~repro.storage.table.Table`.
-
-    Numeric columns (INT/REAL) become float64 arrays; TEXT columns become
-    unicode arrays.  DATE columns become int64 ordinals (preserving
-    comparison order); literals compared against them are converted to the
-    same ordinals at compile time.  Build it once and reuse across queries
-    — the benchmark harness does.
-    """
-
-    def __init__(self, table: Table) -> None:
-        self.relation: Relation = table.relation
-        self.row_count = len(table)
-        self._columns: dict[str, np.ndarray] = {}
-        for attribute in table.relation:
-            raw = table.column(attribute.name)
-            if attribute.type in (AttributeType.INT, AttributeType.REAL):
-                if any(value is None for value in raw):
-                    raise VectorizationError(
-                        f"column {attribute.name!r} contains NULLs; use the "
-                        "scalar algorithms"
-                    )
-                self._columns[attribute.name] = np.asarray(raw, dtype=np.float64)
-            elif attribute.type is AttributeType.DATE:
-                if any(value is None for value in raw):
-                    raise VectorizationError(
-                        f"column {attribute.name!r} contains NULLs; use the "
-                        "scalar algorithms"
-                    )
-                self._columns[attribute.name] = np.asarray(
-                    [value.toordinal() for value in raw], dtype=np.int64
-                )
-            else:
-                self._columns[attribute.name] = np.asarray(
-                    ["" if value is None else value for value in raw]
-                )
-
-    def column(self, name: str) -> np.ndarray:
-        """The numpy array backing one column."""
-        try:
-            return self._columns[name]
-        except KeyError:
-            raise VectorizationError(
-                f"relation {self.relation.name!r} has no column {name!r}"
-            ) from None
-
-    def subset(self, mask: np.ndarray) -> "ColumnarTable":
-        """A view of the rows selected by a boolean mask (shares no rows)."""
-        view = object.__new__(ColumnarTable)
-        view.relation = self.relation
-        view._columns = {
-            name: column[mask] for name, column in self._columns.items()
-        }
-        view.row_count = int(mask.sum())
-        return view
-
-    def python_value(self, column_name: str, value: object) -> object:
-        """Convert a numpy cell back to the column's Python representation."""
-        attribute = self.relation.attribute(column_name)
-        if attribute.type is AttributeType.INT:
-            return int(value)
-        if attribute.type is AttributeType.REAL:
-            return float(value)
-        if attribute.type is AttributeType.DATE:
-            import datetime
-
-            return datetime.date.fromordinal(int(value))
-        return str(value)
+# -- three-valued condition compiler ----------------------------------------
+#
+# Each helper returns a ``(true_mask, unknown_mask)`` pair mirroring the
+# Kleene logic of the scalar tri-state predicates in
+# :mod:`repro.sql.conditions`: a row is *true*, *unknown* (some NULL made
+# the comparison undecidable), or *false* (neither mask set).  Masks are
+# never mutated in place — subexpressions may share arrays.
 
 
-def _literal_value(operand, column_name: str, ctable: ColumnarTable) -> object:
-    """Convert a literal for comparison against a columnar column."""
-    from repro.sql.ast import parse_flexible_date
-
-    if not isinstance(operand, Literal):
-        raise VectorizationError("column-to-column comparisons are not vectorized")
-    value = operand.value
-    if value is None:
-        # NULL literal (e.g. an unmapped attribute reformulated away):
-        # any comparison with it is unknown, handled by the callers.
-        return None
-    attribute = ctable.relation.attribute(column_name)
-    if attribute.type is AttributeType.DATE:
-        if isinstance(value, str):
-            parsed = parse_flexible_date(value)
-            if parsed is None:
-                raise VectorizationError(f"cannot interpret {value!r} as a date")
-            return parsed.toordinal()
-        raise VectorizationError(f"cannot compare DATE column with {value!r}")
-    return value
+def _bool_pair(ctable, true: bool, unknown: bool):
+    n = ctable.row_count
+    return (
+        np.full(n, true, dtype=bool),
+        np.full(n, unknown, dtype=bool),
+    )
 
 
-def _mask(condition: Condition | None, ctable: ColumnarTable, binding: str) -> np.ndarray:
-    """Compile a WHERE condition into a boolean row mask."""
-    if condition is None:
-        return np.ones(ctable.row_count, dtype=bool)
-    if isinstance(condition, Comparison):
-        return _comparison_mask(condition, ctable, binding)
-    if isinstance(condition, BooleanCondition):
-        masks = [_mask(part, ctable, binding) for part in condition.operands]
-        out = masks[0]
-        for other in masks[1:]:
-            out = (out & other) if condition.operator == "AND" else (out | other)
-        return out
-    if isinstance(condition, NotCondition):
-        return ~_mask(condition.operand, ctable, binding)
-    if isinstance(condition, BetweenPredicate):
-        if isinstance(condition.operand, Literal) and condition.operand.value is None:
-            return np.zeros(ctable.row_count, dtype=bool)
-        column = _column_operand(condition.operand, ctable, binding)
-        low = _literal_value(condition.low, condition.operand.name, ctable)
-        high = _literal_value(condition.high, condition.operand.name, ctable)
-        if low is None or high is None:
-            return np.zeros(ctable.row_count, dtype=bool)
-        result = (column >= low) & (column <= high)
-        return ~result if condition.negated else result
-    if isinstance(condition, InPredicate):
-        if isinstance(condition.operand, Literal) and condition.operand.value is None:
-            return np.zeros(ctable.row_count, dtype=bool)
-        column = _column_operand(condition.operand, ctable, binding)
-        result = np.zeros(ctable.row_count, dtype=bool)
-        for literal in condition.values:
-            value = _literal_value(literal, condition.operand.name, ctable)
-            if value is not None:
-                result |= column == value
-        return ~result if condition.negated else result
-    if isinstance(condition, IsNullPredicate):
-        if isinstance(condition.operand, Literal):
-            is_null = condition.operand.value is None
-        else:
-            # Vectorized columns are NULL-free by construction.
-            is_null = False
-        result = np.full(ctable.row_count, is_null, dtype=bool)
-        return ~result if condition.negated else result
-    raise VectorizationError(f"condition {condition!r} is not vectorizable")
-
-
-def _column_operand(operand, ctable: ColumnarTable, binding: str) -> np.ndarray:
+def _resolve_column(operand, ctable: ColumnarTable, binding: str):
+    """The (values, nulls) arrays of a column operand."""
     if not isinstance(operand, ColumnRef):
         raise VectorizationError("expected a column operand")
     if operand.qualifier is not None and operand.qualifier != binding:
         raise VectorizationError(
             f"qualifier {operand.qualifier!r} does not match {binding!r}"
         )
-    return ctable.column(operand.name)
+    if not ctable.exact(operand.name):
+        raise VectorizationError(
+            f"column {operand.name!r} holds integers beyond the float64 "
+            "exactness limit; only the scalar lane is exact there"
+        )
+    return ctable.column(operand.name), ctable.nulls(operand.name)
 
 
-def _comparison_mask(
-    condition: Comparison, ctable: ColumnarTable, binding: str
-) -> np.ndarray:
-    left_is_column = isinstance(condition.left, ColumnRef)
-    right_is_column = isinstance(condition.right, ColumnRef)
-    if left_is_column and right_is_column:
-        left = _column_operand(condition.left, ctable, binding)
-        right = _column_operand(condition.right, ctable, binding)
-        return _apply_operator(condition.operator, left, right)
-    if left_is_column:
-        column = _column_operand(condition.left, ctable, binding)
-        value = _literal_value(condition.right, condition.left.name, ctable)
-        if value is None:
-            return np.zeros(ctable.row_count, dtype=bool)
-        return _apply_operator(condition.operator, column, value)
-    if right_is_column:
-        column = _column_operand(condition.right, ctable, binding)
-        value = _literal_value(condition.left, condition.right.name, ctable)
-        if value is None:
-            return np.zeros(ctable.row_count, dtype=bool)
-        return _apply_operator(_flip(condition.operator), column, value)
-    left_value = condition.left.value
-    right_value = condition.right.value
-    if left_value is None or right_value is None:
-        # NULL comparisons (from reformulated unmapped attributes) are
-        # unknown everywhere.
-        return np.zeros(ctable.row_count, dtype=bool)
-    constant = bool(
-        _apply_operator(condition.operator, left_value, right_value)
+def _literal_for_column(
+    value: object, column_name: str, ctable: ColumnarTable
+) -> object:
+    """Coerce a literal exactly as the scalar compiler would.
+
+    Delegates to :func:`repro.sql.conditions._coerce_literal` (so type
+    errors raise the same :class:`~repro.exceptions.EvaluationError` the
+    scalar lane raises), then converts DATE values to the ordinals the
+    columnar layer stores.
+    """
+    coerced = _coerce_literal(
+        value, ctable.relation.attribute(column_name).type
     )
-    return np.full(ctable.row_count, constant, dtype=bool)
+    if hasattr(coerced, "toordinal"):
+        return coerced.toordinal()
+    return coerced
+
+
+def _apply_operator(operator: str, left, right):
+    try:
+        if operator == "=":
+            return left == right
+        if operator == "<>":
+            return left != right
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        return left >= right
+    except TypeError as error:
+        # Mixed-dtype ordering (e.g. TEXT < REAL): decline; the scalar
+        # fallback reproduces SQL's per-row error behaviour exactly.
+        raise VectorizationError(
+            f"comparison {operator!r} is not vectorizable here: {error}"
+        ) from None
 
 
 def _flip(operator: str) -> str:
-    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}[operator]
+    return {
+        "<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>",
+    }[operator]
 
 
-def _apply_operator(operator: str, left, right) -> np.ndarray:
-    if operator == "=":
-        return left == right
-    if operator == "<>":
-        return left != right
-    if operator == "<":
-        return left < right
-    if operator == "<=":
-        return left <= right
-    if operator == ">":
-        return left > right
-    return left >= right
+def _masked(result, nulls, n):
+    """Collapse a raw comparison result and a null mask to a (t, u) pair."""
+    if nulls is None:
+        return result, np.zeros(n, dtype=bool)
+    return result & ~nulls, nulls
+
+
+def _comparison_truth(condition: Comparison, ctable, binding):
+    n = ctable.row_count
+    left_is_column = isinstance(condition.left, ColumnRef)
+    right_is_column = isinstance(condition.right, ColumnRef)
+    if left_is_column and right_is_column:
+        left, left_nulls = _resolve_column(condition.left, ctable, binding)
+        right, right_nulls = _resolve_column(condition.right, ctable, binding)
+        result = _apply_operator(condition.operator, left, right)
+        if left_nulls is None and right_nulls is None:
+            return result, np.zeros(n, dtype=bool)
+        if left_nulls is None:
+            nulls = right_nulls
+        elif right_nulls is None:
+            nulls = left_nulls
+        else:
+            nulls = left_nulls | right_nulls
+        return result & ~nulls, nulls
+    if left_is_column or right_is_column:
+        if left_is_column:
+            operand, literal = condition.left, condition.right
+            operator = condition.operator
+        else:
+            operand, literal = condition.right, condition.left
+            operator = _flip(condition.operator)
+        column, nulls = _resolve_column(operand, ctable, binding)
+        if not isinstance(literal, Literal):
+            raise VectorizationError("expected a literal operand")
+        value = _literal_for_column(literal.value, operand.name, ctable)
+        if value is None:
+            # NULL literal (an unmapped attribute reformulated away):
+            # the comparison is unknown on every row.
+            return _bool_pair(ctable, False, True)
+        return _masked(_apply_operator(operator, column, value), nulls, n)
+    if not isinstance(condition.left, Literal) or not isinstance(
+        condition.right, Literal
+    ):
+        raise VectorizationError("expected literal operands")
+    left_value = condition.left.value
+    right_value = condition.right.value
+    if left_value is None or right_value is None:
+        return _bool_pair(ctable, False, True)
+    constant = bool(
+        _apply_operator(condition.operator, left_value, right_value)
+    )
+    return _bool_pair(ctable, constant, False)
+
+
+def _between_truth(condition: BetweenPredicate, ctable, binding):
+    operand = condition.operand
+    if isinstance(operand, Literal):
+        if operand.value is None:
+            return _bool_pair(ctable, False, True)
+        raise VectorizationError("BETWEEN over a literal is not vectorized")
+    column, nulls = _resolve_column(operand, ctable, binding)
+    low = _between_bound(condition.low, operand.name, ctable)
+    high = _between_bound(condition.high, operand.name, ctable)
+    if low is None or high is None:
+        return _bool_pair(ctable, False, True)
+    result = (column >= low) & (column <= high)
+    if condition.negated:
+        result = ~result
+    return _masked(result, nulls, ctable.row_count)
+
+
+def _between_bound(bound, column_name: str, ctable):
+    if not isinstance(bound, Literal):
+        raise VectorizationError("BETWEEN bounds must be literals")
+    return _literal_for_column(bound.value, column_name, ctable)
+
+
+def _in_truth(condition: InPredicate, ctable, binding):
+    operand = condition.operand
+    if isinstance(operand, Literal):
+        if operand.value is None:
+            return _bool_pair(ctable, False, True)
+        raise VectorizationError("IN over a literal is not vectorized")
+    column, nulls = _resolve_column(operand, ctable, binding)
+    result = np.zeros(ctable.row_count, dtype=bool)
+    for literal in condition.values:
+        if not isinstance(literal, Literal):
+            raise VectorizationError("IN members must be literals")
+        value = _literal_for_column(literal.value, operand.name, ctable)
+        if value is not None:
+            result = result | (column == value)
+    if condition.negated:
+        result = ~result
+    return _masked(result, nulls, ctable.row_count)
+
+
+def _is_null_truth(condition: IsNullPredicate, ctable, binding):
+    operand = condition.operand
+    if isinstance(operand, Literal):
+        is_null = operand.value is None
+        return _bool_pair(ctable, is_null != condition.negated, False)
+    _, nulls = _resolve_column(operand, ctable, binding)
+    n = ctable.row_count
+    if nulls is None:
+        return _bool_pair(ctable, condition.negated, False)
+    result = ~nulls if condition.negated else nulls
+    return result, np.zeros(n, dtype=bool)
+
+
+def _like_truth(condition: LikePredicate, ctable, binding):
+    regex = _like_to_regex(condition.pattern)
+    operand = condition.operand
+    if isinstance(operand, Literal):
+        if operand.value is None:
+            return _bool_pair(ctable, False, True)
+        matched = regex.match(str(operand.value)) is not None
+        return _bool_pair(ctable, matched != condition.negated, False)
+    column, nulls = _resolve_column(operand, ctable, binding)
+    uniques, inverse = np.unique(column, return_inverse=True)
+    matches = np.fromiter(
+        (
+            regex.match(str(ctable.python_value(operand.name, value)))
+            is not None
+            for value in uniques
+        ),
+        dtype=bool,
+        count=len(uniques),
+    )
+    result = matches[inverse].reshape(column.shape)
+    if condition.negated:
+        result = ~result
+    return _masked(result, nulls, ctable.row_count)
+
+
+def _truth(condition: Condition | None, ctable: ColumnarTable, binding: str):
+    """Compile a condition into a Kleene ``(true, unknown)`` mask pair."""
+    n = ctable.row_count
+    if condition is None:
+        return np.ones(n, dtype=bool), np.zeros(n, dtype=bool)
+    if isinstance(condition, Comparison):
+        return _comparison_truth(condition, ctable, binding)
+    if isinstance(condition, BooleanCondition):
+        true, unknown = _truth(condition.operands[0], ctable, binding)
+        for part in condition.operands[1:]:
+            part_true, part_unknown = _truth(part, ctable, binding)
+            if condition.operator == "AND":
+                false = ~true & ~unknown
+                part_false = ~part_true & ~part_unknown
+                true, unknown = (
+                    true & part_true,
+                    (unknown | part_unknown) & ~false & ~part_false,
+                )
+            else:
+                both_true = true | part_true
+                true, unknown = (
+                    both_true,
+                    (unknown | part_unknown) & ~both_true,
+                )
+        return true, unknown
+    if isinstance(condition, NotCondition):
+        true, unknown = _truth(condition.operand, ctable, binding)
+        return ~true & ~unknown, unknown
+    if isinstance(condition, BetweenPredicate):
+        return _between_truth(condition, ctable, binding)
+    if isinstance(condition, InPredicate):
+        return _in_truth(condition, ctable, binding)
+    if isinstance(condition, IsNullPredicate):
+        return _is_null_truth(condition, ctable, binding)
+    if isinstance(condition, LikePredicate):
+        return _like_truth(condition, ctable, binding)
+    raise VectorizationError(f"condition {condition!r} is not vectorizable")
+
+
+# -- the prepared problem ---------------------------------------------------
 
 
 class VectorizedProblem:
     """Masks, values, and probabilities for one flat by-tuple query.
 
-    ``participation[j]`` is the boolean row mask under mapping ``j``;
+    ``participation[j]`` is the boolean row mask under mapping ``j`` —
+    WHERE-condition true *and* aggregate argument non-NULL (SQL aggregates
+    skip NULL arguments, matching the scalar ``contribution()``);
     ``values[j]`` the aggregate argument column under mapping ``j``
-    (``None`` for COUNT(*)).
+    (``None`` for COUNT, whose contribution is 1).
     """
 
     def __init__(
         self, ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
     ) -> None:
+        if np is None or ctable.backend != "numpy":
+            raise VectorizationError(
+                "the numpy columnar backend is unavailable; use the scalar "
+                "algorithms"
+            )
         if isinstance(query.source, SubquerySource):
             raise VectorizationError("nested queries are not vectorized")
-        if query.group_by is not None:
-            raise VectorizationError(
-                "GROUP BY is not vectorized; partition first"
-            )
         if query.aggregate.distinct and query.aggregate.op not in (
             AggregateOp.MIN,
             AggregateOp.MAX,
@@ -283,248 +375,331 @@ class VectorizedProblem:
                 f"targets {pmapping.target.name!r}"
             )
         self.op = query.aggregate.op
+        self.ctable = ctable
+        self.row_count = ctable.row_count
         metrics.inc("tuples.scanned", ctable.row_count)
-        self.probabilities = np.asarray(list(pmapping.probabilities))
-        self.participation: list[np.ndarray] = []
-        self.values: list[np.ndarray | None] = []
+        self.probability_list: list[float] = list(pmapping.probabilities)
+        self.probabilities = np.asarray(self.probability_list)
+        self.participation: list = []
+        self.values: list = []
         for mapping, _ in pmapping:
             reformulated = reformulate_query(query, mapping, unmapped="null")
             binding = reformulated.source.binding_name
-            self.participation.append(
-                _mask(reformulated.where, ctable, binding)
-            )
+            true_mask, _ = _truth(reformulated.where, ctable, binding)
             argument = reformulated.aggregate.argument
             if argument is None:
+                self.participation.append(true_mask)
                 self.values.append(None)
+                continue
+            if not ctable.exact(argument.name):
+                raise VectorizationError(
+                    f"aggregate argument {argument.name!r} holds integers "
+                    "beyond the float64 exactness limit"
+                )
+            column = ctable.column(argument.name)
+            nulls = ctable.nulls(argument.name)
+            if nulls is not None:
+                true_mask = true_mask & ~nulls
+            self.participation.append(true_mask)
+            if self.op is AggregateOp.COUNT:
+                self.values.append(None)
+            elif column.dtype.kind == "f":
+                self.values.append(column)
             else:
-                column = ctable.column(argument.name)
-                if column.dtype.kind not in "fi":
-                    raise VectorizationError(
-                        f"aggregate over non-numeric column {argument.name!r}"
-                    )
-                self.values.append(column.astype(np.float64, copy=False))
+                # TEXT, and DATE (whose answers must come back as dates,
+                # not float ordinals): the scalar lane handles them.
+                raise VectorizationError(
+                    f"aggregate over non-numeric column {argument.name!r}"
+                )
 
-    def participation_matrix(self) -> np.ndarray:
+    @property
+    def mapping_count(self) -> int:
+        return len(self.participation)
+
+    def participation_matrix(self):
         """Boolean (mappings x tuples) participation matrix."""
         return np.vstack(self.participation)
 
-    def value_matrix(self) -> np.ndarray:
+    def value_matrix(self):
         """Float (mappings x tuples) contribution values (COUNT -> ones)."""
         rows = []
         for mask, values in zip(self.participation, self.values):
             rows.append(
-                np.ones_like(mask, dtype=np.float64) if values is None else values
+                np.ones_like(mask, dtype=np.float64)
+                if values is None
+                else values
             )
         return np.vstack(rows)
 
+    def iter_vectors(self):
+        """Reconstruct scalar contribution vectors from the arrays.
 
-# -- the algorithms -----------------------------------------------------------
+        Serves consumers outside the array kernels (sampling, naive
+        enumeration, the extension lanes) from an array-backed prepared
+        query.  Numeric values come back as Python floats; ``int == float``
+        equality keeps them interchangeable with the scalar lane's.
+        """
+        masks = [mask.tolist() for mask in self.participation]
+        value_lists = [
+            None if values is None else values.tolist()
+            for values in self.values
+        ]
+        for i in range(self.row_count):
+            yield tuple(
+                (1 if value_lists[j] is None else value_lists[j][i])
+                if masks[j][i]
+                else None
+                for j in range(len(masks))
+            )
 
 
-def by_tuple_range_count_vec(
-    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
-) -> RangeAnswer:
-    """Vectorized ByTupleRangeCOUNT (Figure 2)."""
-    problem = VectorizedProblem(ctable, pmapping, query)
+# -- exact per-row occurrence probabilities ---------------------------------
+
+
+def _pattern_codes(problem: VectorizedProblem):
+    """Per-row participation patterns as int64 bit codes, or None (m > 62)."""
+    masks = problem.participation
+    if len(masks) > 62:
+        return None
+    codes = np.zeros(problem.row_count, dtype=np.int64)
+    for j, mask in enumerate(masks):
+        codes |= mask.astype(np.int64) << j
+    return codes
+
+
+def occurrence_array(problem: VectorizedProblem, *, sequential: bool = False):
+    """Per-row participation probability, bit-identical to the scalar fold.
+
+    With ``sequential=False`` (the default) each row's probability is what
+    :meth:`~repro.core.common.PreparedTupleQuery.satisfaction_probability`
+    returns: exactly 1.0 for a row qualifying under every mapping, else
+    ``math.fsum`` of the qualifying mappings' probabilities.  With
+    ``sequential=True`` it is the left-to-right ``+=`` fold (no snapping)
+    that :func:`~repro.core.bytuple_sum.expected_sum_kernel` uses for its
+    empty-world term.
+
+    Rows sharing a participation pattern share one exactly-computed value
+    (there are at most ``2**m`` patterns, and in practice only a handful),
+    so the whole column costs one ``numpy.unique`` plus a tiny Python loop.
+    """
+    masks = problem.participation
+    probabilities = problem.probability_list
+    codes = _pattern_codes(problem)
+    if codes is None:  # pragma: no cover - more than 62 candidate mappings
+        out = np.empty(problem.row_count, dtype=np.float64)
+        for i in range(problem.row_count):
+            selected = [
+                p for p, mask in zip(probabilities, masks) if mask[i]
+            ]
+            if sequential:
+                occurrence = 0.0
+                for p in selected:
+                    occurrence += p
+                out[i] = occurrence
+            elif len(selected) == len(masks):
+                out[i] = 1.0
+            else:
+                out[i] = math.fsum(selected)
+        return out
+    uniques, inverse = np.unique(codes, return_inverse=True)
+    full_pattern = (1 << len(masks)) - 1
+    per_pattern = np.empty(len(uniques), dtype=np.float64)
+    for k, code in enumerate(uniques.tolist()):
+        selected = [
+            p for j, p in enumerate(probabilities) if (code >> j) & 1
+        ]
+        if sequential:
+            occurrence = 0.0
+            for p in selected:
+                occurrence += p
+            per_pattern[k] = occurrence
+        elif code == full_pattern:
+            per_pattern[k] = 1.0
+        else:
+            per_pattern[k] = math.fsum(selected)
+    return per_pattern[inverse]
+
+
+# -- kernels over a prepared problem ----------------------------------------
+#
+# Each ``*_on`` kernel consumes a built :class:`VectorizedProblem` and
+# reproduces its scalar counterpart's float arithmetic exactly; the
+# ``by_tuple_*_vec`` wrappers below build the problem (and fan out over
+# GROUP BY groups) for one-shot callers.
+
+
+def _row_stats(problem: VectorizedProblem):
+    """(satisfiable, forced, vmin, vmax) per-row summaries."""
+    participation = problem.participation_matrix()
+    values = problem.value_matrix()
+    satisfiable = participation.any(axis=0)
+    forced = participation.all(axis=0)
+    vmin = np.where(participation, values, np.inf).min(axis=0)
+    vmax = np.where(participation, values, -np.inf).max(axis=0)
+    return satisfiable, forced, vmin, vmax
+
+
+def range_count_on(problem: VectorizedProblem) -> RangeAnswer:
+    """The Figure 2 fold over a prepared problem (exact integers)."""
     participation = problem.participation_matrix()
     per_tuple = participation.sum(axis=0)
-    low = int((per_tuple == len(pmapping)).sum())
+    low = int((per_tuple == problem.mapping_count).sum())
     up = int((per_tuple > 0).sum())
     return RangeAnswer(low, up)
 
 
-def occurrence_probabilities_vec(
-    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
-) -> np.ndarray:
-    """Per-tuple participation probabilities (the Figure 3 DP input)."""
-    problem = VectorizedProblem(ctable, pmapping, query)
-    participation = problem.participation_matrix()
-    occurrence = problem.probabilities @ participation
-    # A tuple participating under every mapping is sure (Definition 2: the
-    # candidate probabilities form a distribution); pin it to exactly 1.0 so
-    # the dot product's rounding cannot leak an impossible outcome (e.g. a
-    # 1e-16 P(count=0)) into the DP support, matching the scalar kernels.
-    occurrence[participation.all(axis=0)] = 1.0
-    return occurrence
-
-
-def by_tuple_distribution_count_vec(
-    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
-) -> DistributionAnswer:
-    """Vectorized ByTuplePDCOUNT: numpy masks + the Figure 3 DP.
-
-    The DP itself stays O(n^2) — that quadratic growth is precisely the
-    behaviour Figure 9 demonstrates — but each fold is one vector operation
-    instead of a Python loop.
+def _count_distribution_dp_arrays(occurrence) -> DiscreteDistribution:
+    """The Figure 3 DP over an occurrence array, matching
+    :func:`~repro.core.bytuple_count.count_distribution_dp` bit for bit —
+    including its guardrail checks, validation, and ``count_dp.*``
+    metric accounting — while folding each row as one vector operation.
     """
-    occurrence = occurrence_probabilities_vec(ctable, pmapping, query)
-    # Tuples that participate with probability 0 never change the DP state.
-    occurrence = occurrence[occurrence > 0.0]
-    if occurrence.size == 0:
-        return DistributionAnswer(DiscreteDistribution.point(0))
-    probabilities = np.zeros(occurrence.size + 1)
+    guard = guardmod.current_guard()
+    n = int(occurrence.size)
+    probabilities = np.zeros(n + 1)
     probabilities[0] = 1.0
     filled = 1
-    for occ in occurrence:
+    dp_cells = 0
+    for occ in occurrence.tolist():
+        if guard is not None:
+            guard.check_deadline()
+            guard.note_support(filled + 1)
+        if not -1e-12 <= occ <= 1.0 + 1e-12:
+            raise EvaluationError(
+                f"occurrence probability {occ} outside [0, 1]"
+            )
+        occ = min(1.0, max(0.0, occ))
         not_occ = 1.0 - occ
-        segment = probabilities[:filled + 1]
+        segment = probabilities[: filled + 1]
         shifted = np.empty_like(segment)
         shifted[0] = 0.0
         shifted[1:] = probabilities[:filled]
-        np.multiply(probabilities[:filled + 1], not_occ, out=segment)
+        np.multiply(segment, not_occ, out=segment)
         segment += shifted * occ
         filled += 1
-    distribution = DiscreteDistribution(
+        dp_cells += filled
+    metrics.inc("count_dp.rows", n)
+    metrics.inc("count_dp.cells", dp_cells)
+    metrics.observe("count_dp.width", filled)
+    return DiscreteDistribution(
         (
             (count, float(p))
-            for count, p in enumerate(probabilities)
+            for count, p in enumerate(probabilities[:filled].tolist())
             if p > 0.0
         )
     )
-    return DistributionAnswer(distribution)
 
 
-def by_tuple_expected_count_vec(
-    ctable: ColumnarTable,
-    pmapping: PMapping,
-    query: AggregateQuery,
-    *,
-    method: str = "distribution",
-) -> ExpectedValueAnswer:
-    """Vectorized ByTupleExpValCOUNT (via the DP, or linear)."""
-    if method == "linear":
-        occurrence = occurrence_probabilities_vec(ctable, pmapping, query)
-        return ExpectedValueAnswer(float(occurrence.sum()))
-    answer = by_tuple_distribution_count_vec(ctable, pmapping, query)
-    return answer.to_expected_value()
+def distribution_count_on(problem: VectorizedProblem) -> DistributionAnswer:
+    """ByTuplePDCOUNT over a prepared problem (all rows, zeros included,
+    exactly like the scalar :func:`distribution_count_kernel`)."""
+    return DistributionAnswer(
+        _count_distribution_dp_arrays(occurrence_array(problem))
+    )
 
 
-def by_tuple_range_sum_vec(
-    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
-) -> RangeAnswer:
-    """Vectorized ByTupleRangeSUM (Figure 4, tight version)."""
-    problem = VectorizedProblem(ctable, pmapping, query)
-    participation = problem.participation_matrix()
-    values = problem.value_matrix()
-    satisfiable = participation.any(axis=0)
+def expected_count_on(problem: VectorizedProblem) -> ExpectedValueAnswer:
+    """Expected COUNT by linearity (the engine's scalar-kernel route)."""
+    return ExpectedValueAnswer(
+        math.fsum(occurrence_array(problem).tolist())
+    )
+
+
+def range_sum_on(problem: VectorizedProblem) -> RangeAnswer:
+    """The tightened Figure 4 fold; ``fsum`` of the same per-row
+    contributions the scalar kernel feeds its :class:`ExactSum`."""
+    satisfiable, forced, vmin, vmax = _row_stats(problem)
     if not satisfiable.any():
         return RangeAnswer(None, None)
-    forced = participation.all(axis=0)
-    vmin = np.where(participation, values, np.inf).min(axis=0)
-    vmax = np.where(participation, values, -np.inf).max(axis=0)
-    low_contrib = np.where(forced, vmin, np.minimum(vmin, 0.0))
-    up_contrib = np.where(forced, vmax, np.maximum(vmax, 0.0))
-    low_contrib = np.where(satisfiable, low_contrib, 0.0)
-    up_contrib = np.where(satisfiable, up_contrib, 0.0)
-    low = float(low_contrib.sum())
-    up = float(up_contrib.sum())
-    low_world_nonempty = bool(forced.any() or (low_contrib < 0.0).any())
-    up_world_nonempty = bool(forced.any() or (up_contrib > 0.0).any())
-    if not low_world_nonempty:
-        low = float(vmin[satisfiable].min())
-    if not up_world_nonempty:
-        up = float(vmax[satisfiable].max())
-    return RangeAnswer(low, up)
+    low_contrib = np.where(forced, vmin, np.minimum(vmin, 0.0))[satisfiable]
+    up_contrib = np.where(forced, vmax, np.maximum(vmax, 0.0))[satisfiable]
+    low = math.fsum(low_contrib.tolist())
+    up = math.fsum(up_contrib.tolist())
+    has_forced = bool(forced.any())
+    low_world_nonempty = has_forced or bool((low_contrib < 0.0).any())
+    up_world_nonempty = has_forced or bool((up_contrib > 0.0).any())
+    final_low = low if low_world_nonempty else float(vmin[satisfiable].min())
+    final_up = up if up_world_nonempty else float(vmax[satisfiable].max())
+    return RangeAnswer(final_low, final_up)
 
 
-def by_tuple_expected_sum_vec(
-    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
-) -> ExpectedValueAnswer:
-    """Vectorized conditional-exact ByTupleExpValSUM.
+def _expected_sum_terms(problem: VectorizedProblem):
+    """The ``P(m_j) * contribution`` addends of the expected-SUM numerator.
 
-    Computes the same quantity as
-    :func:`repro.core.bytuple_sum.by_tuple_expected_sum` with
-    ``method="exact"``: the expectation of SUM conditioned on some tuple
-    qualifying.  Equals Theorem 4's by-table value whenever no possible
-    world is empty.
+    The scalar kernel folds them row-major through an :class:`ExactSum`;
+    ``math.fsum`` over the same multiset (any order) yields the identical
+    correctly-rounded total.
     """
-    problem = VectorizedProblem(ctable, pmapping, query)
-    participation = problem.participation_matrix()
-    if not participation.any():
+    for probability, mask, values in zip(
+        problem.probability_list, problem.participation, problem.values
+    ):
+        if values is None:
+            for _ in range(int(mask.sum())):
+                yield probability
+        else:
+            for value in values[mask].tolist():
+                yield probability * value
+
+
+def _log_empty_terms(problem: VectorizedProblem):
+    """(certain_empty_impossible, per-row log1p terms) of the empty world."""
+    occurrence = occurrence_array(problem, sequential=True)
+    certain = bool((occurrence >= 1.0).any())
+    partial = occurrence[(occurrence > 0.0) & (occurrence < 1.0)]
+    uniques, inverse = np.unique(partial, return_inverse=True)
+    logs = np.array(
+        [math.log1p(-value) for value in uniques.tolist()], dtype=np.float64
+    )
+    terms = logs[inverse] if uniques.size else partial
+    return certain, terms
+
+
+def expected_sum_on(problem: VectorizedProblem) -> ExpectedValueAnswer:
+    """Exact conditional expected SUM, matching
+    :func:`~repro.core.bytuple_sum.expected_sum_kernel` bit for bit."""
+    if not any(bool(mask.any()) for mask in problem.participation):
         return ExpectedValueAnswer(None)
-    values = problem.value_matrix()
-    contributions = np.where(participation, values, 0.0)
-    total = float(problem.probabilities @ contributions.sum(axis=1))
-    occurrence = problem.probabilities @ participation
-    empty_world_probability = float(np.prod(1.0 - occurrence))
+    total = math.fsum(_expected_sum_terms(problem))
+    certain_empty_impossible, log_terms = _log_empty_terms(problem)
+    empty_world_probability = (
+        0.0
+        if certain_empty_impossible
+        else math.exp(math.fsum(log_terms.tolist()))
+    )
     if empty_world_probability >= 1.0:
         return ExpectedValueAnswer(None)
     return ExpectedValueAnswer(total / (1.0 - empty_world_probability))
 
 
-def by_tuple_range_avg_vec(
-    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
-) -> RangeAnswer:
-    """Vectorized ByTupleRangeAVG (tight greedy over sorted candidates)."""
-    problem = VectorizedProblem(ctable, pmapping, query)
-    participation = problem.participation_matrix()
-    values = problem.value_matrix()
-    satisfiable = participation.any(axis=0)
-    if not satisfiable.any():
-        return RangeAnswer(None, None)
-    forced = participation.all(axis=0)
-    vmin = np.where(participation, values, np.inf).min(axis=0)
-    vmax = np.where(participation, values, -np.inf).max(axis=0)
+def range_avg_on(problem: VectorizedProblem) -> RangeAnswer:
+    """The tight AVG range through the shared scalar greedy."""
+    satisfiable, forced, vmin, vmax = _row_stats(problem)
     optional = satisfiable & ~forced
-    low = _greedy_mean_vec(vmin[forced], np.sort(vmin[optional]), minimize=True)
-    high = _greedy_mean_vec(
-        vmax[forced], np.sort(vmax[optional])[::-1], minimize=False
+    forced_count = int(forced.sum())
+    low = _greedy_extreme_mean_from(
+        math.fsum(vmin[forced].tolist()),
+        forced_count,
+        vmin[optional].tolist(),
+        minimize=True,
     )
+    high = _greedy_extreme_mean_from(
+        math.fsum(vmax[forced].tolist()),
+        forced_count,
+        vmax[optional].tolist(),
+        minimize=False,
+    )
+    if low is None:
+        return RangeAnswer(None, None)
     return RangeAnswer(low, high)
 
 
-def _greedy_mean_vec(
-    forced: np.ndarray, sorted_optional: np.ndarray, *, minimize: bool
-) -> float | None:
-    if forced.size == 0 and sorted_optional.size == 0:
-        return None
-    if forced.size:
-        total = float(forced.sum())
-        count = forced.size
-    else:
-        total = float(sorted_optional[0])
-        count = 1
-        sorted_optional = sorted_optional[1:]
-    # Prefix means of forced + first k optional candidates; the optimum is
-    # the best prefix (the greedy stopping point), computed in one shot.
-    if sorted_optional.size:
-        prefix_totals = total + np.cumsum(sorted_optional)
-        prefix_counts = count + np.arange(1, sorted_optional.size + 1)
-        means = np.concatenate(([total / count], prefix_totals / prefix_counts))
-        return float(means.min() if minimize else means.max())
-    return total / count
-
-
-def by_tuple_range_max_vec(
-    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+def range_minmax_on(
+    problem: VectorizedProblem, *, maximize: bool
 ) -> RangeAnswer:
-    """Vectorized ByTupleRangeMAX (Figure 5, tight version)."""
-    return _range_extreme_vec(ctable, pmapping, query, maximize=True)
-
-
-def by_tuple_range_min_vec(
-    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
-) -> RangeAnswer:
-    """Vectorized ByTupleRangeMIN."""
-    return _range_extreme_vec(ctable, pmapping, query, maximize=False)
-
-
-def _range_extreme_vec(
-    ctable: ColumnarTable,
-    pmapping: PMapping,
-    query: AggregateQuery,
-    *,
-    maximize: bool,
-) -> RangeAnswer:
-    problem = VectorizedProblem(ctable, pmapping, query)
-    participation = problem.participation_matrix()
-    values = problem.value_matrix()
-    satisfiable = participation.any(axis=0)
+    """The tightened Figure 5 fold (exact comparisons only)."""
+    satisfiable, forced, vmin, vmax = _row_stats(problem)
     if not satisfiable.any():
         return RangeAnswer(None, None)
-    forced = participation.all(axis=0)
-    vmin = np.where(participation, values, np.inf).min(axis=0)
-    vmax = np.where(participation, values, -np.inf).max(axis=0)
     if maximize:
         outer = float(vmax[satisfiable].max())
         if forced.any():
@@ -540,6 +715,134 @@ def _range_extreme_vec(
     return RangeAnswer(outer, inner)
 
 
+# -- one-shot algorithm entry points ----------------------------------------
+
+
+def by_tuple_range_count_vec(
+    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+):
+    """Vectorized ByTupleRangeCOUNT (Figure 2)."""
+    if query.group_by is not None:
+        return run_grouped_vectorized(
+            ctable, pmapping, query, by_tuple_range_count_vec
+        )
+    return range_count_on(VectorizedProblem(ctable, pmapping, query))
+
+
+def occurrence_probabilities_vec(
+    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+):
+    """Per-tuple participation probabilities (the Figure 3 DP input)."""
+    return occurrence_array(VectorizedProblem(ctable, pmapping, query))
+
+
+def by_tuple_distribution_count_vec(
+    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+):
+    """Vectorized ByTuplePDCOUNT: columnar masks + the Figure 3 DP.
+
+    The DP itself stays O(n^2) — that quadratic growth is precisely the
+    behaviour Figure 9 demonstrates — but each fold is one vector operation
+    instead of a Python loop.
+    """
+    if query.group_by is not None:
+        return run_grouped_vectorized(
+            ctable, pmapping, query, by_tuple_distribution_count_vec
+        )
+    return distribution_count_on(VectorizedProblem(ctable, pmapping, query))
+
+
+def by_tuple_expected_count_vec(
+    ctable: ColumnarTable,
+    pmapping: PMapping,
+    query: AggregateQuery,
+    *,
+    method: str = "linear",
+):
+    """Vectorized ByTupleExpValCOUNT.
+
+    ``method="linear"`` (default) sums the per-tuple participation
+    probabilities — the same ``fsum`` the engine's scalar kernel computes,
+    so the two lanes agree bit for bit.  ``method="distribution"`` takes
+    the expectation of the full Figure 3 DP (the paper's route; provably
+    equal, numerically within an ulp).
+    """
+    if query.group_by is not None:
+        return run_grouped_vectorized(
+            ctable, pmapping, query, by_tuple_expected_count_vec
+        )
+    if method == "linear":
+        return expected_count_on(VectorizedProblem(ctable, pmapping, query))
+    answer = by_tuple_distribution_count_vec(ctable, pmapping, query)
+    return answer.to_expected_value()
+
+
+def by_tuple_range_sum_vec(
+    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+):
+    """Vectorized ByTupleRangeSUM (Figure 4, tight version)."""
+    if query.group_by is not None:
+        return run_grouped_vectorized(
+            ctable, pmapping, query, by_tuple_range_sum_vec
+        )
+    return range_sum_on(VectorizedProblem(ctable, pmapping, query))
+
+
+def by_tuple_expected_sum_vec(
+    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+):
+    """Vectorized conditional-exact ByTupleExpValSUM.
+
+    Computes the same quantity as
+    :func:`repro.core.bytuple_sum.by_tuple_expected_sum` with
+    ``method="exact"`` — bit-identically: the numerator is an ``fsum``
+    over the scalar kernel's addend multiset and the empty-world factor
+    reuses its ``log1p`` formulation.
+    """
+    if query.group_by is not None:
+        return run_grouped_vectorized(
+            ctable, pmapping, query, by_tuple_expected_sum_vec
+        )
+    return expected_sum_on(VectorizedProblem(ctable, pmapping, query))
+
+
+def by_tuple_range_avg_vec(
+    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+):
+    """Vectorized ByTupleRangeAVG (tight greedy over sorted candidates)."""
+    if query.group_by is not None:
+        return run_grouped_vectorized(
+            ctable, pmapping, query, by_tuple_range_avg_vec
+        )
+    return range_avg_on(VectorizedProblem(ctable, pmapping, query))
+
+
+def by_tuple_range_max_vec(
+    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+):
+    """Vectorized ByTupleRangeMAX (Figure 5, tight version)."""
+    if query.group_by is not None:
+        return run_grouped_vectorized(
+            ctable, pmapping, query, by_tuple_range_max_vec
+        )
+    return range_minmax_on(
+        VectorizedProblem(ctable, pmapping, query), maximize=True
+    )
+
+
+def by_tuple_range_min_vec(
+    ctable: ColumnarTable, pmapping: PMapping, query: AggregateQuery
+):
+    """Vectorized ByTupleRangeMIN."""
+    if query.group_by is not None:
+        return run_grouped_vectorized(
+            ctable, pmapping, query, by_tuple_range_min_vec
+        )
+    return range_minmax_on(
+        VectorizedProblem(ctable, pmapping, query), maximize=False
+    )
+
+
 def run_grouped_vectorized(
     ctable: ColumnarTable,
     pmapping: PMapping,
@@ -551,8 +854,10 @@ def run_grouped_vectorized(
     The vectorized counterpart of
     :func:`repro.core.common.run_possibly_grouped`: the grouping attribute
     must be *certain* (mapped to the same source column by every candidate
-    mapping); rows are partitioned with one ``numpy.unique`` pass and the
-    scalar algorithm runs on a columnar subset per group.
+    mapping); rows are partitioned with one ``numpy.unique`` pass over the
+    group-key column array and the scalar algorithm runs on a zero-row-copy
+    columnar subset per group.  Rows whose group key is NULL form their own
+    ``None`` group, exactly like the scalar partitioner.
 
     Examples
     --------
@@ -561,8 +866,6 @@ def run_grouped_vectorized(
     ...     by_tuple_range_max_vec)                        # doctest: +SKIP
     GroupedAnswer({34: RangeAnswer(...), 38: RangeAnswer(...)})
     """
-    from repro.core.answers import GroupedAnswer
-
     if query.group_by is None:
         return scalar_vectorized(ctable, pmapping, query)
     group_sources = {
@@ -577,21 +880,139 @@ def run_grouped_vectorized(
         )
     group_column_name = next(iter(group_sources))
     column = ctable.column(group_column_name)
+    nulls = ctable.nulls(group_column_name)
     flat = AggregateQuery(query.aggregate, query.source, query.where, None)
     answers = {}
-    for key in np.unique(column):
-        subset = ctable.subset(column == key)
+    keys = np.unique(column if nulls is None else column[~nulls])
+    for key in keys:
+        mask = column == key
+        if nulls is not None:
+            mask = mask & ~nulls
         answers[ctable.python_value(group_column_name, key)] = (
-            scalar_vectorized(subset, pmapping, flat)
+            scalar_vectorized(ctable.subset(mask), pmapping, flat)
         )
+    if nulls is not None and nulls.any():
+        answers[None] = scalar_vectorized(ctable.subset(nulls), pmapping, flat)
     return GroupedAnswer(answers)
+
+
+# -- shard accumulators for the parallel lane -------------------------------
+
+
+def accumulator_for_problem(cell, problem: VectorizedProblem):
+    """Fold one columnar shard into a detached streaming accumulator.
+
+    The parallel lane's column-slice shards land here: the returned
+    accumulator carries exactly the state a
+    :class:`~repro.core.streaming.Accumulator` would hold after folding
+    the shard's rows sequentially — per-row addends enter the
+    :class:`ExactSum` totals individually (exact partials), so merging
+    shard accumulators in shard order reproduces the sequential fold bit
+    for bit.
+    """
+    from repro.core import streaming
+
+    op, semantics = cell
+    satisfiable = problem.participation_matrix().any(axis=0)
+    if op is AggregateOp.COUNT and semantics is AggregateSemantics.RANGE:
+        accumulator = streaming.RangeCountAccumulator(None)
+        answer = range_count_on(problem)
+        accumulator.low = answer.low
+        accumulator.up = answer.high
+        return accumulator
+    if (
+        op is AggregateOp.COUNT
+        and semantics is AggregateSemantics.DISTRIBUTION
+    ):
+        accumulator = streaming.DistributionCountAccumulator(None)
+        occurrence = occurrence_array(problem)
+        accumulator.occurrences = occurrence[occurrence > 0.0].tolist()
+        return accumulator
+    if (
+        op is AggregateOp.COUNT
+        and semantics is AggregateSemantics.EXPECTED_VALUE
+    ):
+        accumulator = streaming.ExpectedCountAccumulator(None)
+        accumulator.total = ExactSum(occurrence_array(problem).tolist())
+        return accumulator
+    if op is AggregateOp.SUM and semantics is AggregateSemantics.RANGE:
+        accumulator = streaming.RangeSumAccumulator(None)
+        if satisfiable.any():
+            _, forced, vmin, vmax = _row_stats(problem)
+            low_contrib = np.where(forced, vmin, np.minimum(vmin, 0.0))[
+                satisfiable
+            ]
+            up_contrib = np.where(forced, vmax, np.maximum(vmax, 0.0))[
+                satisfiable
+            ]
+            accumulator.any_satisfiable = True
+            accumulator.low = ExactSum(low_contrib.tolist())
+            accumulator.up = ExactSum(up_contrib.tolist())
+            has_forced = bool(forced.any())
+            accumulator.low_world_nonempty = has_forced or bool(
+                (low_contrib < 0.0).any()
+            )
+            accumulator.up_world_nonempty = has_forced or bool(
+                (up_contrib > 0.0).any()
+            )
+            accumulator.best_single_min = float(vmin[satisfiable].min())
+            accumulator.best_single_max = float(vmax[satisfiable].max())
+        return accumulator
+    if (
+        op is AggregateOp.SUM
+        and semantics is AggregateSemantics.EXPECTED_VALUE
+    ):
+        accumulator = streaming.ExpectedSumAccumulator(None)
+        accumulator.any_satisfiable = bool(satisfiable.any())
+        accumulator.total = ExactSum(_expected_sum_terms(problem))
+        certain, log_terms = _log_empty_terms(problem)
+        accumulator.certain_empty_impossible = certain
+        accumulator.log_empty = ExactSum(log_terms.tolist())
+        return accumulator
+    if op is AggregateOp.AVG and semantics is AggregateSemantics.RANGE:
+        accumulator = streaming.RangeAvgAccumulator(None)
+        _, forced, vmin, vmax = _row_stats(problem)
+        optional = satisfiable & ~forced
+        accumulator.forced_min_total = ExactSum(vmin[forced].tolist())
+        accumulator.forced_max_total = ExactSum(vmax[forced].tolist())
+        accumulator.forced_count = int(forced.sum())
+        accumulator.optional_min = vmin[optional].tolist()
+        accumulator.optional_max = vmax[optional].tolist()
+        return accumulator
+    if (
+        op in (AggregateOp.MIN, AggregateOp.MAX)
+        and semantics is AggregateSemantics.RANGE
+    ):
+        maximize = op is AggregateOp.MAX
+        accumulator = streaming.RangeMinMaxAccumulator(
+            None, maximize=maximize
+        )
+        if satisfiable.any():
+            _, forced, vmin, vmax = _row_stats(problem)
+            accumulator.any_satisfiable = True
+            accumulator.has_forced = bool(forced.any())
+            if maximize:
+                accumulator.outer = float(vmax[satisfiable].max())
+                accumulator.any_inner = float(vmin[satisfiable].min())
+                if accumulator.has_forced:
+                    accumulator.forced_inner = float(vmin[forced].max())
+            else:
+                accumulator.outer = float(vmin[satisfiable].min())
+                accumulator.any_inner = float(vmax[satisfiable].max())
+                if accumulator.has_forced:
+                    accumulator.forced_inner = float(vmax[forced].min())
+        return accumulator
+    raise VectorizationError(
+        f"no columnar shard accumulator for cell {cell!r}"
+    )
 
 
 #: The flat by-tuple cells with a vectorized implementation, keyed by
 #: ``(aggregate operator, aggregate semantics)``.  The planner consults this
-#: registry when an engine enables ``vectorize=True``; cells outside it (and
-#: queries/data outside the vectorizable fragment, which raise
-#: :class:`VectorizationError` at run time) fall back to the scalar lane.
+#: registry (together with :data:`HAVE_NUMPY`) when an engine enables
+#: ``vectorize=True``; cells outside it — and queries/data outside the
+#: vectorizable fragment, which raise :class:`VectorizationError` at run
+#: time — fall back to the scalar lane.
 VECTORIZED_CELLS = {
     (AggregateOp.COUNT, AggregateSemantics.RANGE): by_tuple_range_count_vec,
     (AggregateOp.COUNT, AggregateSemantics.DISTRIBUTION):

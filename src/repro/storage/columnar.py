@@ -1,0 +1,328 @@
+"""Columnar storage: typed column arrays with explicit null masks.
+
+The by-tuple algorithms are per-tuple folds; evaluating them over
+row-major Python tuples pays interpreter overhead per (tuple, mapping)
+pair.  :class:`ColumnarTable` is the storage-layer answer: a build-once,
+immutable column-major snapshot of a :class:`~repro.storage.table.Table`
+that every fast lane (the numpy kernels of :mod:`repro.core.vectorized`,
+the array-backed prepared queries of :mod:`repro.core.common`, the
+column-slice shards of :mod:`repro.core.parallel`) consumes.
+
+Conversion contract (from ``storage/table.Table``)
+--------------------------------------------------
+
+One column array plus one optional null mask per attribute:
+
+========= ======================= =========================== ===========
+SQL type  numpy backend           pure-Python backend         NULL fill
+========= ======================= =========================== ===========
+INT       ``float64``             ``array('d')``              ``0.0``
+REAL      ``float64``             ``array('d')``              ``0.0``
+DATE      ``int64`` ordinals      ``array('q')``              ``0``
+TEXT      unicode (``np.str_``)   ``list[str]``               ``""``
+========= ======================= =========================== ===========
+
+NULL cells are *only* distinguishable through the null mask
+(:meth:`ColumnarTable.nulls`): the fill values above are dummies that keep
+the arrays dense, and consumers must mask them out.  ``nulls(name)``
+returns ``None`` for a column with no NULLs, so the common all-certain
+case costs nothing.  INT columns ride in float64, which is exact for
+integers up to 2**53; a column holding a larger magnitude is flagged
+(:meth:`ColumnarTable.exact`) and the fast lanes decline it, keeping the
+scalar lane the exact reference.
+
+The numpy import is guarded: without numpy (``pip install repro[fast]``
+declares the optional dependency) the pure-Python backend — stdlib
+``array`` for numerics/dates, a plain list for text — keeps the layer,
+its null masks, and its conversion contract available, and the engine
+degrades gracefully to the scalar lane.
+
+Build-once semantics: a :class:`ColumnarTable` is a snapshot of the rows
+at construction time and is never mutated afterwards; mutating the source
+:class:`~repro.storage.table.Table` requires a fresh build (the engine's
+columnar cache drops its entries on ``invalidate()``/``close()``).
+"""
+
+from __future__ import annotations
+
+import datetime
+from array import array
+
+from repro.exceptions import StorageError
+from repro.schema.model import AttributeType, Relation
+from repro.storage.table import Table
+
+try:  # pragma: no cover - exercised by the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+#: True when numpy is importable; the planner and the prepared-query
+#: materializer consult this before routing work at the columnar layer.
+HAVE_NUMPY = np is not None
+
+__all__ = ["ColumnarError", "ColumnarTable", "HAVE_NUMPY"]
+
+
+class ColumnarError(StorageError):
+    """The columnar layer cannot serve a request (unknown column, or an
+    operation that needs the numpy backend on a pure-Python build)."""
+
+
+def _numeric_store(raw, row_count: int, use_numpy: bool):
+    """(values, nulls) for an INT/REAL column; nulls is None when clean."""
+    has_nulls = any(value is None for value in raw)
+    filled = (
+        [0.0 if value is None else float(value) for value in raw]
+        if has_nulls
+        else raw
+    )
+    if use_numpy:
+        values = np.asarray(filled, dtype=np.float64)
+        nulls = (
+            np.fromiter(
+                (value is None for value in raw), dtype=bool, count=row_count
+            )
+            if has_nulls
+            else None
+        )
+        return values, nulls
+    values = array("d", (float(value) for value in filled))
+    nulls = [value is None for value in raw] if has_nulls else None
+    return values, nulls
+
+
+def _date_store(raw, row_count: int, use_numpy: bool):
+    """(values, nulls) for a DATE column as proleptic-Gregorian ordinals."""
+    has_nulls = any(value is None for value in raw)
+    ordinals = [0 if value is None else value.toordinal() for value in raw]
+    if use_numpy:
+        values = np.asarray(ordinals, dtype=np.int64)
+        nulls = (
+            np.fromiter(
+                (value is None for value in raw), dtype=bool, count=row_count
+            )
+            if has_nulls
+            else None
+        )
+        return values, nulls
+    return array("q", ordinals), (
+        [value is None for value in raw] if has_nulls else None
+    )
+
+
+def _text_store(raw, row_count: int, use_numpy: bool):
+    """(values, nulls) for a TEXT column (empty-string dummy for NULL)."""
+    has_nulls = any(value is None for value in raw)
+    filled = ["" if value is None else str(value) for value in raw]
+    if use_numpy:
+        values = np.asarray(filled, dtype=np.str_)
+        nulls = (
+            np.fromiter(
+                (value is None for value in raw), dtype=bool, count=row_count
+            )
+            if has_nulls
+            else None
+        )
+        return values, nulls
+    return filled, ([value is None for value in raw] if has_nulls else None)
+
+
+class ColumnarTable:
+    """A build-once column-major snapshot of one relation instance.
+
+    Parameters
+    ----------
+    table:
+        The row-major source.  Cell values are assumed coerced to the
+        relation's attribute types (``Table`` guarantees this).
+    backend:
+        ``"auto"`` (default) uses numpy when importable, else the
+        pure-Python stores; ``"python"`` forces the stdlib fallback (used
+        by tests to exercise the no-numpy path with numpy installed).
+
+    Instances are picklable (column slices cross the parallel lane's
+    process boundary) and immutable by convention: no method mutates the
+    arrays after construction.
+    """
+
+    __slots__ = (
+        "relation",
+        "row_count",
+        "backend",
+        "_columns",
+        "_nulls",
+        "_inexact",
+    )
+
+    def __init__(self, table: Table, *, backend: str = "auto") -> None:
+        self._build(
+            table.relation,
+            {
+                attribute.name: table.column(attribute.name)
+                for attribute in table.relation
+            },
+            len(table),
+            backend,
+        )
+
+    @classmethod
+    def from_rows(
+        cls, relation: Relation, rows: list[tuple], *, backend: str = "auto"
+    ) -> "ColumnarTable":
+        """Build directly from raw row tuples (same contract as a Table)."""
+        instance = object.__new__(cls)
+        instance._build(
+            relation,
+            {
+                attribute.name: tuple(values[index] for values in rows)
+                for index, attribute in enumerate(relation)
+            },
+            len(rows),
+            backend,
+        )
+        return instance
+
+    def _build(
+        self,
+        relation: Relation,
+        raw_columns: dict[str, tuple],
+        row_count: int,
+        backend: str,
+    ) -> None:
+        if backend not in ("auto", "python"):
+            raise ColumnarError(
+                f"unknown columnar backend {backend!r} "
+                "(choices: 'auto', 'python')"
+            )
+        use_numpy = backend == "auto" and HAVE_NUMPY
+        self.relation = relation
+        self.row_count = row_count
+        self.backend = "numpy" if use_numpy else "python"
+        self._columns: dict[str, object] = {}
+        self._nulls: dict[str, object] = {}
+        self._inexact: frozenset[str] = frozenset()
+        inexact = set()
+        for attribute in relation:
+            raw = raw_columns[attribute.name]
+            if attribute.type in (AttributeType.INT, AttributeType.REAL):
+                if attribute.type is AttributeType.INT and any(
+                    value is not None and not -(2**53) <= value <= 2**53
+                    for value in raw
+                ):
+                    inexact.add(attribute.name)
+                values, nulls = _numeric_store(raw, row_count, use_numpy)
+            elif attribute.type is AttributeType.DATE:
+                values, nulls = _date_store(raw, row_count, use_numpy)
+            else:
+                values, nulls = _text_store(raw, row_count, use_numpy)
+            self._columns[attribute.name] = values
+            if nulls is not None:
+                self._nulls[attribute.name] = nulls
+        self._inexact = frozenset(inexact)
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.row_count
+
+    def column(self, name: str):
+        """The dense array backing one column (dummy-filled at NULLs)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ColumnarError(
+                f"relation {self.relation.name!r} has no column {name!r}"
+            ) from None
+
+    def nulls(self, name: str):
+        """The column's boolean null mask, or ``None`` when NULL-free."""
+        if name not in self._columns:
+            raise ColumnarError(
+                f"relation {self.relation.name!r} has no column {name!r}"
+            )
+        return self._nulls.get(name)
+
+    def has_nulls(self, name: str) -> bool:
+        """True when the column contains at least one NULL."""
+        return self.nulls(name) is not None
+
+    def exact(self, name: str) -> bool:
+        """True when the column's array holds every value exactly.
+
+        False only for an INT column with a magnitude beyond 2**53 (the
+        float64 integer-exactness limit); consumers needing exact
+        arithmetic must decline such a column to the scalar lane.
+        """
+        if name not in self._columns:
+            raise ColumnarError(
+                f"relation {self.relation.name!r} has no column {name!r}"
+            )
+        return name not in self._inexact
+
+    def python_value(self, column_name: str, value: object) -> object:
+        """Convert one array cell back to the column's Python type."""
+        attribute = self.relation.attribute(column_name)
+        if attribute.type is AttributeType.INT:
+            return int(value)
+        if attribute.type is AttributeType.REAL:
+            return float(value)
+        if attribute.type is AttributeType.DATE:
+            return datetime.date.fromordinal(int(value))
+        return str(value)
+
+    # -- derived views -----------------------------------------------------
+
+    def _derived(self, columns, nulls, row_count: int) -> "ColumnarTable":
+        view = object.__new__(ColumnarTable)
+        view.relation = self.relation
+        view.row_count = row_count
+        view.backend = self.backend
+        view._columns = columns
+        view._nulls = nulls
+        view._inexact = self._inexact
+        return view
+
+    def subset(self, mask) -> "ColumnarTable":
+        """The rows selected by a boolean mask (numpy backend only)."""
+        if self.backend != "numpy":
+            raise ColumnarError(
+                "boolean-mask subsets require the numpy backend"
+            )
+        return self._derived(
+            {name: column[mask] for name, column in self._columns.items()},
+            {name: nulls[mask] for name, nulls in self._nulls.items()},
+            int(mask.sum()),
+        )
+
+    def slice_rows(self, start: int, stop: int) -> "ColumnarTable":
+        """Rows ``[start, stop)`` as a zero-copy view (both backends).
+
+        On the numpy backend the sliced arrays are views over the parent's
+        buffers — the parallel lane's shards share storage with the cached
+        build (a shard that crosses a process boundary pickles only its
+        slice).
+        """
+        return self._derived(
+            {
+                name: column[start:stop]
+                for name, column in self._columns.items()
+            },
+            {name: nulls[start:stop] for name, nulls in self._nulls.items()},
+            max(0, min(stop, self.row_count) - max(start, 0)),
+        )
+
+    # -- pickling (slots) --------------------------------------------------
+
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarTable({self.relation.name!r}, rows={self.row_count}, "
+            f"backend={self.backend!r})"
+        )

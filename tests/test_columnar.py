@@ -1,0 +1,453 @@
+"""Tests for the first-class columnar storage layer.
+
+Covers the :mod:`repro.storage.columnar` contract (typed arrays, null
+masks, build-once snapshots, pure-Python fallback), the edge-dtype
+differentials the ISSUE calls out (NULL-heavy columns, empty tables,
+TEXT under LIKE / IS NULL, single-row tables — strict ``==`` against the
+scalar lane on all 8 flat PTIME by-tuple cells), the engine cache
+lifecycle (``invalidate()``/``close()`` must drop cached snapshots), and
+graceful degradation to the scalar lane when numpy is unavailable.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import pickle
+import subprocess
+import sys
+from array import array
+from pathlib import Path
+
+import pytest
+
+from repro.core.engine import AggregationEngine
+from repro.core.semantics import AggregateSemantics, MappingSemantics
+from repro.data import synthetic
+from repro.schema.correspondence import AttributeCorrespondence
+from repro.schema.mapping import PMapping, RelationMapping
+from repro.schema.model import Attribute, AttributeType, Relation
+from repro.storage.columnar import HAVE_NUMPY, ColumnarError, ColumnarTable
+from repro.storage.table import Table
+
+requires_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+#: The eight PTIME flat by-tuple cells.
+CELLS = [
+    ("COUNT(*)", AggregateSemantics.RANGE),
+    ("COUNT(*)", AggregateSemantics.DISTRIBUTION),
+    ("COUNT(*)", AggregateSemantics.EXPECTED_VALUE),
+    ("SUM(value)", AggregateSemantics.RANGE),
+    ("SUM(value)", AggregateSemantics.EXPECTED_VALUE),
+    ("AVG(value)", AggregateSemantics.RANGE),
+    ("MIN(value)", AggregateSemantics.RANGE),
+    ("MAX(value)", AggregateSemantics.RANGE),
+]
+
+MIXED_RELATION = Relation(
+    "SRCX",
+    [
+        Attribute("id", AttributeType.INT),
+        Attribute("label", AttributeType.TEXT),
+        Attribute("posted", AttributeType.DATE),
+        Attribute("v1", AttributeType.REAL),
+        Attribute("v2", AttributeType.REAL),
+    ],
+)
+
+MIXED_TARGET = Relation(
+    "MEDX",
+    [
+        Attribute("id", AttributeType.INT),
+        Attribute("label", AttributeType.TEXT),
+        Attribute("posted", AttributeType.DATE),
+        Attribute("value", AttributeType.REAL),
+    ],
+)
+
+
+def mixed_pmapping(weights=(0.4, 0.6)) -> PMapping:
+    certain = [
+        AttributeCorrespondence("id", "id"),
+        AttributeCorrespondence("label", "label"),
+        AttributeCorrespondence("posted", "posted"),
+    ]
+    return PMapping(
+        MIXED_RELATION,
+        MIXED_TARGET,
+        [
+            (
+                RelationMapping(
+                    MIXED_RELATION,
+                    MIXED_TARGET,
+                    certain + [AttributeCorrespondence(f"v{k}", "value")],
+                    name=f"m{k}",
+                ),
+                weight,
+            )
+            for k, weight in enumerate(weights, start=1)
+        ],
+    )
+
+
+def assert_lanes_bit_identical(table, pmapping, where, *, group_by=None):
+    """Scalar vs columnar-vectorized engines, strict ``==``, all 8 cells."""
+    suffix = f" WHERE {where}" if where else ""
+    if group_by is not None:
+        suffix += f" GROUP BY {group_by}"
+    scalar = AggregationEngine(table, pmapping)
+    vectorized = AggregationEngine(table, pmapping, vectorize=True)
+    with scalar, vectorized:
+        for aggregate, semantics in CELLS:
+            query = f"SELECT {aggregate} FROM {MIXED_TARGET.name}{suffix}"
+            baseline = scalar.answer(query, MappingSemantics.BY_TUPLE, semantics)
+            answer = vectorized.answer(query, MappingSemantics.BY_TUPLE, semantics)
+            assert answer == baseline, (aggregate, semantics.value, where)
+        hits = vectorized.metrics_snapshot().get("vectorized.hit", 0)
+    assert hits == len(CELLS), f"expected all cells vectorized, got {hits}"
+
+
+class TestLayerContract:
+    def test_python_backend_stores_stdlib_arrays(self):
+        table = Table(
+            MIXED_RELATION,
+            [
+                (1, "alpha", datetime.date(2008, 1, 5), 1.5, None),
+                (2, None, None, -2.0, 4.0),
+            ],
+        )
+        columnar = ColumnarTable(table, backend="python")
+        assert columnar.backend == "python"
+        assert isinstance(columnar.column("v1"), array)
+        assert columnar.column("v1").typecode == "d"
+        assert isinstance(columnar.column("posted"), array)
+        assert columnar.column("posted").typecode == "q"
+        assert columnar.column("posted")[0] == datetime.date(2008, 1, 5).toordinal()
+        assert columnar.column("label") == ["alpha", ""]
+        assert columnar.nulls("label") == [False, True]
+        assert columnar.nulls("v2") == [True, False]
+        assert columnar.nulls("v1") is None
+        with pytest.raises(ColumnarError, match="numpy backend"):
+            columnar.subset([True, False])
+
+    def test_python_backend_slices_rows(self):
+        table = Table(MIXED_RELATION, [
+            (i, f"t{i}", datetime.date(2020, 1, 1 + i), float(i), None)
+            for i in range(5)
+        ])
+        columnar = ColumnarTable(table, backend="python")
+        view = columnar.slice_rows(1, 4)
+        assert view.row_count == 3
+        assert list(view.column("v1")) == [1.0, 2.0, 3.0]
+        assert view.nulls("v2") == [True, True, True]
+
+    def test_unknown_backend_rejected(self):
+        table = Table(MIXED_RELATION, [])
+        with pytest.raises(ColumnarError, match="unknown columnar backend"):
+            ColumnarTable(table, backend="fortran")
+
+    def test_unknown_column_rejected(self):
+        columnar = ColumnarTable(Table(MIXED_RELATION, []), backend="python")
+        with pytest.raises(ColumnarError, match="no column"):
+            columnar.column("ghost")
+        with pytest.raises(ColumnarError, match="no column"):
+            columnar.nulls("ghost")
+
+    def test_python_value_restores_types(self):
+        table = Table(
+            MIXED_RELATION,
+            [(7, "abc", datetime.date(2009, 3, 29), 2.5, 0.0)],
+        )
+        columnar = ColumnarTable(table, backend="python")
+        assert columnar.python_value("id", columnar.column("id")[0]) == 7
+        assert columnar.python_value("label", columnar.column("label")[0]) == "abc"
+        assert columnar.python_value(
+            "posted", columnar.column("posted")[0]
+        ) == datetime.date(2009, 3, 29)
+        value = columnar.python_value("v1", columnar.column("v1")[0])
+        assert value == 2.5 and isinstance(value, float)
+
+    def test_int_columns_flag_float64_exactness(self):
+        relation = Relation("BIG", [Attribute("n", AttributeType.INT)])
+        exact = ColumnarTable(Table(relation, [(2**53,)]), backend="python")
+        assert exact.exact("n")
+        inexact = ColumnarTable(
+            Table(relation, [(2**53 + 1,)]), backend="python"
+        )
+        assert not inexact.exact("n")
+        assert not inexact.slice_rows(0, 1).exact("n")
+
+    @requires_numpy
+    def test_numpy_backend_pickles(self):
+        table = Table(
+            MIXED_RELATION,
+            [(1, "a", None, None, 2.0), (2, "b", datetime.date(2020, 5, 6), 3.0, None)],
+        )
+        columnar = ColumnarTable(table)
+        assert columnar.backend == "numpy"
+        clone = pickle.loads(pickle.dumps(columnar))
+        assert clone.row_count == 2
+        assert list(clone.column("v2")) == list(columnar.column("v2"))
+        assert list(clone.nulls("posted")) == [True, False]
+
+    @requires_numpy
+    def test_from_rows_matches_table_build(self):
+        rows = [
+            (1, "x", datetime.date(2021, 2, 3), 5.0, None),
+            (2, None, None, -1.0, 7.5),
+        ]
+        from_table = ColumnarTable(Table(MIXED_RELATION, rows))
+        from_rows = ColumnarTable.from_rows(MIXED_RELATION, rows)
+        for name in ("id", "label", "posted", "v1", "v2"):
+            assert list(from_rows.column(name)) == list(from_table.column(name))
+            lhs, rhs = from_rows.nulls(name), from_table.nulls(name)
+            assert (lhs is None) == (rhs is None)
+            if lhs is not None:
+                assert list(lhs) == list(rhs)
+
+    @requires_numpy
+    def test_subset_and_slices_are_consistent(self):
+        import numpy as np
+
+        rows = [(i, f"t{i}", None, float(i), None) for i in range(10)]
+        columnar = ColumnarTable(Table(MIXED_RELATION, rows))
+        mask = np.asarray([i % 2 == 0 for i in range(10)])
+        evens = columnar.subset(mask)
+        assert evens.row_count == 5
+        assert list(evens.column("v1")) == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert bool(evens.nulls("posted").all())
+        view = columnar.slice_rows(3, 7)
+        assert list(view.column("v1")) == [3.0, 4.0, 5.0, 6.0]
+        # Zero-copy: the slice shares the parent's buffers.
+        assert view.column("v1").base is columnar.column("v1")
+
+    @requires_numpy
+    def test_empty_table_builds(self):
+        columnar = ColumnarTable(Table(MIXED_RELATION, []))
+        assert len(columnar) == 0
+        assert len(columnar.column("label")) == 0
+        assert columnar.nulls("label") is None
+
+
+@requires_numpy
+class TestEdgeDtypeDifferential:
+    """Strict lane equality on the shapes most likely to diverge."""
+
+    def _table(self, rows):
+        return Table(MIXED_RELATION, rows)
+
+    def test_null_heavy_columns(self):
+        rows = []
+        for i in range(24):
+            rows.append(
+                (
+                    i,
+                    None if i % 3 == 0 else f"name{i % 4}",
+                    None if i % 2 == 0 else datetime.date(2020, 1, 1 + i % 5),
+                    None if i % 2 == 1 else float(i - 9),
+                    None if i % 5 == 0 else float(3 - i),
+                )
+            )
+        table = self._table(rows)
+        pm = mixed_pmapping()
+        for where in (
+            "value < 4",
+            "value IS NULL",
+            "value IS NOT NULL",
+            "value >= -3 AND value < 8",
+            "NOT (value = 2)",
+        ):
+            assert_lanes_bit_identical(table, pm, where)
+
+    def test_empty_table(self):
+        assert_lanes_bit_identical(self._table([]), mixed_pmapping(), "value < 4")
+
+    def test_single_row(self):
+        table = self._table([(1, "only", datetime.date(2019, 9, 9), 2.0, None)])
+        assert_lanes_bit_identical(table, mixed_pmapping(), "value > 1")
+        assert_lanes_bit_identical(table, mixed_pmapping(), "value > 5")
+
+    def test_text_like_and_is_null(self):
+        rows = [
+            (1, "widget-a", None, 4.0, 1.0),
+            (2, "widget-b", None, -2.0, None),
+            (3, None, None, 3.0, 8.0),
+            (4, "gadget", None, None, -5.0),
+            (5, "Widget-c", None, 0.5, 2.5),
+        ]
+        table = self._table(rows)
+        pm = mixed_pmapping()
+        for where in (
+            "label LIKE 'widget%'",
+            "label NOT LIKE '%a'",
+            "label LIKE '_adget'",
+            "label IS NULL",
+            "label IS NOT NULL AND value < 3",
+            "label LIKE 'widget%' OR value > 2",
+        ):
+            assert_lanes_bit_identical(table, pm, where)
+
+    def test_date_conditions(self):
+        rows = [
+            (1, "a", datetime.date(2008, 1, 5), 1.0, 2.0),
+            (2, "b", None, 3.0, 4.0),
+            (3, "c", datetime.date(2008, 3, 1), 5.0, None),
+        ]
+        table = self._table(rows)
+        pm = mixed_pmapping()
+        for where in (
+            "posted < '2008-02-01'",
+            "posted IS NULL",
+            "posted BETWEEN '2008-01-01' AND '2008-12-31'",
+        ):
+            assert_lanes_bit_identical(table, pm, where)
+
+    def test_grouped_with_null_group_keys(self):
+        rows = [
+            (None if i % 4 == 0 else i % 3, f"t{i}", None, float(i), float(-i))
+            for i in range(18)
+        ]
+        table = self._table(rows)
+        pm = mixed_pmapping()
+        scalar = AggregationEngine(table, pm)
+        vectorized = AggregationEngine(table, pm, vectorize=True)
+        query = f"SELECT SUM(value) FROM {MIXED_TARGET.name} WHERE value < 9 GROUP BY id"
+        with scalar, vectorized:
+            baseline = scalar.answer(
+                query, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+            answer = vectorized.answer(
+                query, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+        assert None in dict(baseline.groups.items())
+        assert answer == baseline
+
+
+@requires_numpy
+class TestCacheLifecycle:
+    def _workload(self):
+        relation = synthetic.source_relation(2)
+        table = synthetic.generate_source_table(64, 2, seed=9, relation=relation)
+        pmapping = synthetic.generate_pmapping(relation, 2, seed=9)
+        return table, pmapping
+
+    def test_invalidate_drops_cached_columnar_tables(self):
+        table, pmapping = self._workload()
+        with AggregationEngine(table, pmapping, vectorize=True) as engine:
+            engine.answer(
+                "SELECT COUNT(*) FROM MED WHERE value < 500",
+                MappingSemantics.BY_TUPLE,
+                AggregateSemantics.RANGE,
+            )
+            assert engine._columnar_cache
+            engine.invalidate()
+            assert not engine._columnar_cache
+
+    def test_close_drops_cached_columnar_tables(self):
+        table, pmapping = self._workload()
+        engine = AggregationEngine(table, pmapping, vectorize=True)
+        engine.answer(
+            "SELECT COUNT(*) FROM MED WHERE value < 500",
+            MappingSemantics.BY_TUPLE,
+            AggregateSemantics.RANGE,
+        )
+        assert engine._columnar_cache
+        engine.close()
+        assert not engine._columnar_cache
+
+    def test_data_swap_answers_from_fresh_snapshot(self):
+        """The stale-cache-after-data-swap guard: invalidate() must force a
+        rebuild so answers reflect the mutated table."""
+        table, pmapping = self._workload()
+        query = "SELECT COUNT(*) FROM MED WHERE value < 500"
+        with AggregationEngine(table, pmapping, vectorize=True) as engine:
+            before = engine.answer(
+                query, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+            table.extend([(1000 + i, 1.0, 1.0) for i in range(10)])
+            engine.invalidate()
+            after = engine.answer(
+                query, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+        assert after.low == before.low + 10
+        assert after.high == before.high + 10
+
+
+class TestNoNumpyDegradation:
+    def test_engine_degrades_to_scalar_lane(self, monkeypatch):
+        import repro.core.vectorized as vectorized_module
+        import repro.storage.columnar as columnar_module
+
+        relation = synthetic.source_relation(2)
+        table = synthetic.generate_source_table(40, 2, seed=3, relation=relation)
+        pmapping = synthetic.generate_pmapping(relation, 2, seed=3)
+        query = "SELECT SUM(value) FROM MED WHERE value < 600"
+        with AggregationEngine(table, pmapping) as scalar:
+            baseline = scalar.answer(
+                query, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+        monkeypatch.setattr(columnar_module, "HAVE_NUMPY", False)
+        monkeypatch.setattr(vectorized_module, "HAVE_NUMPY", False)
+        with AggregationEngine(table, pmapping, vectorize=True) as engine:
+            answer = engine.answer(
+                query, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+            prepared = engine.prepare(query)
+            prepared_answer = prepared.answer(
+                MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+            )
+            snapshot = engine.metrics_snapshot()
+        assert answer == baseline
+        assert prepared_answer == baseline
+        assert snapshot.get("vectorized.hit", 0) == 0
+
+    def test_subprocess_with_numpy_import_blocked(self):
+        """End-to-end proof that the package imports and answers without
+        numpy: a meta-path finder blocks the import in a child process."""
+        src = Path(__file__).resolve().parents[1] / "src"
+        code = """
+import sys
+
+class _NumpyBlocker:
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy blocked for this test")
+        return None
+
+sys.meta_path.insert(0, _NumpyBlocker())
+
+from repro.storage.columnar import HAVE_NUMPY, ColumnarTable
+assert not HAVE_NUMPY
+from repro.core import vectorized
+assert not vectorized.HAVE_NUMPY
+
+from repro.core.engine import AggregationEngine
+from repro.core.semantics import AggregateSemantics, MappingSemantics
+from repro.data import synthetic
+
+relation = synthetic.source_relation(2)
+table = synthetic.generate_source_table(50, 2, seed=1, relation=relation)
+pmapping = synthetic.generate_pmapping(relation, 2, seed=1)
+columnar = ColumnarTable(table)
+assert columnar.backend == "python"
+with AggregationEngine(table, pmapping, vectorize=True) as engine:
+    answer = engine.answer(
+        "SELECT SUM(value) FROM MED WHERE value < 500",
+        MappingSemantics.BY_TUPLE,
+        AggregateSemantics.RANGE,
+    )
+    assert answer.is_defined
+    assert engine.metrics_snapshot().get("vectorized.hit", 0) == 0
+print("degraded-ok")
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src)
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "degraded-ok" in result.stdout

@@ -29,6 +29,8 @@ from repro.schema.model import Attribute, AttributeType, Relation
 from repro.sql.parser import parse_query
 from repro.storage.table import Table
 
+pytest.importorskip("numpy")
+
 RELATION = Relation(
     "SRC",
     [

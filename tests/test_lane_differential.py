@@ -8,9 +8,10 @@ every lane applicable to each PTIME by-tuple cell:
 * the sharded **parallel** lane — which promises answers *bit-for-bit
   equal* to the scalar lane (exact running sums, order-preserving
   merges), so the comparison is strict ``==``,
-* the vectorized numpy lane — numerically independent (simd reductions
-  associate differently), so probability-weighted answers compare to
-  1e-9 while counts and min/max bounds stay exact,
+* the columnar vectorized lane — whose float folds are factored through
+  the same exact primitives as the scalar kernels (``fsum``-equivalent
+  totals, the shared AVG greedy, element-exact DP updates), so the
+  comparison is strict ``==`` as well,
 * the streaming accumulators,
 * ``answer_many(parallel=True)``, whose thread pool must return the same
   answers in the same order as the sequential batch.
@@ -24,7 +25,6 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.answers import DistributionAnswer, ExpectedValueAnswer
 from repro.core.engine import AggregationEngine
 from repro.core.semantics import AggregateSemantics, MappingSemantics
 from repro.data import synthetic
@@ -111,13 +111,8 @@ def lane_problems(draw):
 
 
 def _assert_vectorized_close(baseline, answer, label):
-    """Vectorized reductions associate differently: 1e-9 for float answers."""
-    if isinstance(baseline, ExpectedValueAnswer):
-        assert baseline.approx_equal(answer), label
-    elif isinstance(baseline, DistributionAnswer):
-        assert baseline.approx_equal(answer), label
-    else:
-        assert answer == baseline, label
+    """The columnar lane promises bit-identity on every PTIME cell."""
+    assert answer == baseline, label
 
 
 class TestLanesAgree:
