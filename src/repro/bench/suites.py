@@ -21,6 +21,9 @@ parallel        sequential vs sharded pool execution at 200k tuples
 prepared-reuse  one-shot answer() vs prepared plans (bench_prepared_reuse)
 columnar        row-walk scalar kernels vs the columnar array kernels on
                 the same cells (baseline: ``BENCH_columnar.json``)
+obs-overhead    telemetry on vs off: the same prepared answer loop with
+                no sink, under an in-memory sink, and the query-log /
+                exporter primitives (baseline: ``BENCH_obs_overhead.json``)
 ablations       expected-COUNT methods and the MAX-distribution
                 extension (bench_ablation_*)
 ==============  =========================================================
@@ -581,3 +584,82 @@ for _key, _scalar, _vec, _op in _COLUMNAR_CELLS:
         columnar_suite.case(f"columnar.{_key}")(
             _columnar_pair_case(_key, _scalar, _vec, _op, vectorized=True)
         )
+
+
+# -- obs-overhead -------------------------------------------------------------
+
+obs_overhead = register_suite(Suite(
+    "obs-overhead",
+    "telemetry on vs off: prepared answers with/without a sink, plus the "
+    "query-log and Prometheus-exporter primitives (BENCH_obs_overhead.json)",
+))
+
+
+def _obs_answer_case(traced: bool):
+    def factory():
+        from repro.core.engine import AggregationEngine
+        from repro.data import synthetic
+        from repro.obs import trace
+        from repro.sql.ast import AggregateOp
+
+        workload = synthetic.generate_workload(1000, 8, 5, seed=0)
+        engine = AggregationEngine([workload.table], workload.pmapping)
+        prepared = engine.prepare(workload.query(AggregateOp.SUM))
+        prepared.answer("by-tuple", "range")  # pin vectors untimed
+
+        def run_plain():
+            for _ in range(50):
+                prepared.answer("by-tuple", "range")
+
+        def run_traced():
+            # A fresh sink per repeat: capacity never saturates into
+            # deque-eviction noise, and every span is really recorded.
+            with trace.use_sink(trace.InMemorySink(capacity=1024)):
+                run_plain()
+
+        return (run_traced if traced else run_plain), engine.close
+
+    return factory
+
+
+obs_overhead.case("answer50.sink_off", repeats=5, warmup=1)(
+    _obs_answer_case(traced=False)
+)
+obs_overhead.case("answer50.sink_on", repeats=5, warmup=1)(
+    _obs_answer_case(traced=True)
+)
+
+
+@obs_overhead.case("querylog.record_x1000", repeats=5, warmup=1)
+def _obs_querylog():
+    from repro.obs import querylog
+
+    log = querylog.QueryLog(capacity=256)
+    record = querylog.QueryRecord(
+        ts=0.0, query="SELECT SUM(value) FROM MED", lane="scalar",
+        mapping_semantics="by-tuple", aggregate_semantics="range",
+        status="ok", seconds=0.001, rows=1000,
+    )
+
+    def run():
+        for _ in range(1000):
+            log.record(record)
+
+    return run
+
+
+@obs_overhead.case("export.render_prometheus", repeats=5, warmup=1)
+def _obs_export():
+    from repro.obs import export
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for index in range(100):
+        registry.inc(f"bench.counter.{index}", index)
+        registry.set_gauge(f"bench.gauge.{index}", float(index))
+    for index in range(20):
+        histogram = registry.histogram(f"bench.hist.{index}")
+        for value in range(200):
+            histogram.observe(float(value))
+
+    return lambda: export.render_prometheus(registry)

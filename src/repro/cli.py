@@ -24,11 +24,17 @@ fallback chain) without executing; ``--explain-analyze`` executes and
 attaches per-span wall-clock timings and the run's metric deltas (combine
 with ``--repeat N`` to watch the plan cache convert misses into hits).
 
-Two performance subcommands round out the observability tooling::
+Three observability subcommands round out the tooling::
 
     repro-bench profile --query "SELECT COUNT(*) FROM T" \\
         --msem by-tuple --asem distribution   # flat per-span profile
     repro-bench bench --suite quick           # registered benchmark suites
+    repro-bench stats --query "SELECT COUNT(*) FROM T"   # Prometheus text
+
+``stats`` renders the metrics registry in the Prometheus text exposition
+format (``--serve`` keeps the process alive behind a stdlib HTTP scrape
+endpoint on ``/metrics``), and ``query --trace-jsonl PATH`` appends the
+invocation's full span trees to a JSONL file.
 
 ``query`` accepts execution guardrails: ``--timeout-ms`` (wall-clock
 deadline), ``--max-worlds`` (cap on enumerated/sampled possible worlds),
@@ -387,12 +393,18 @@ def _run_profile(args: argparse.Namespace) -> int:
 
 def _run_query(args: argparse.Namespace) -> int:
     """The ``query`` subcommand: CSV + JSON p-mapping -> printed answer."""
-    from repro.core.engine import AggregationEngine
+    from contextlib import ExitStack
+
     from repro.exceptions import ReproError
-    from repro.schema.serialize import load_pmapping
-    from repro.storage.csv_io import load_table_csv
 
     if args.stream:
+        if args.trace_jsonl:
+            print(
+                "error: --trace-jsonl requires the engine pipeline; drop "
+                "--stream",
+                file=sys.stderr,
+            )
+            return 2
         if args.explain or args.explain_analyze:
             print(
                 "error: --explain/--explain-analyze require the engine "
@@ -409,67 +421,161 @@ def _run_query(args: argparse.Namespace) -> int:
             return 2
         return _run_streamed_query(args)
     try:
-        pmapping = load_pmapping(args.mapping)
-        table = load_table_csv(pmapping.source, args.data)
-        engine = AggregationEngine(
-            [table],
-            pmapping,
-            backend=args.backend,
-            allow_exponential=args.allow_exponential,
-            allow_sampling=args.samples is not None,
-            max_workers=args.max_workers,
-            timeout_ms=args.timeout_ms,
-            max_worlds=args.max_worlds,
-            degrade=args.degrade,
-        )
-        with engine:
-            if args.explain:
-                plan = engine.explain(
-                    args.query,
-                    args.mapping_semantics,
-                    args.aggregate_semantics,
-                )
-                for line in _render_plan(plan):
-                    print(line)
-                return 0
-            if args.explain_analyze:
-                report = engine.explain_analyze(
-                    args.query,
-                    args.mapping_semantics,
-                    args.aggregate_semantics,
-                    repeat=args.repeat,
-                    samples=args.samples,
-                )
-                _print_explain_analyze(report)
-                return 0
-            if args.repeat > 1:
-                # Prepare once, execute N times: demonstrates the pipeline's
-                # plan reuse and reports the amortized per-execution cost.
-                prepared = engine.prepare(args.query)
-                watch = Stopwatch()
-                with watch:
-                    for _ in range(args.repeat):
-                        answer = prepared.answer(
-                            args.mapping_semantics,
-                            args.aggregate_semantics,
-                            samples=args.samples,
-                        )
-                print(answer)
-                print(
-                    f"{args.repeat} executions in {watch.elapsed:.4f}s "
-                    f"({watch.elapsed / args.repeat * 1e3:.3f} ms/execution, "
-                    "prepared once)"
-                )
-                return 0
-            answer = engine.answer(
+        with ExitStack() as stack:
+            if args.trace_jsonl:
+                from repro.obs import trace
+
+                # One JSON object per root span: the full span tree of
+                # this invocation lands in the file (--explain-analyze
+                # keeps its own temporary sink and prints the spans
+                # instead).
+                sink = stack.enter_context(trace.JSONLSink(args.trace_jsonl))
+                stack.enter_context(trace.use_sink(sink))
+            return _run_engine_query(args)
+    except (ReproError, OSError) as error:
+        return _fail(error)
+
+
+def _run_engine_query(args: argparse.Namespace) -> int:
+    """The engine-pipeline body of the ``query`` subcommand."""
+    from repro.core.engine import AggregationEngine
+    from repro.schema.serialize import load_pmapping
+    from repro.storage.csv_io import load_table_csv
+
+    pmapping = load_pmapping(args.mapping)
+    table = load_table_csv(pmapping.source, args.data)
+    engine = AggregationEngine(
+        [table],
+        pmapping,
+        backend=args.backend,
+        allow_exponential=args.allow_exponential,
+        allow_sampling=args.samples is not None,
+        max_workers=args.max_workers,
+        timeout_ms=args.timeout_ms,
+        max_worlds=args.max_worlds,
+        degrade=args.degrade,
+    )
+    with engine:
+        if args.explain:
+            plan = engine.explain(
                 args.query,
                 args.mapping_semantics,
                 args.aggregate_semantics,
+            )
+            for line in _render_plan(plan):
+                print(line)
+            return 0
+        if args.explain_analyze:
+            report = engine.explain_analyze(
+                args.query,
+                args.mapping_semantics,
+                args.aggregate_semantics,
+                repeat=args.repeat,
                 samples=args.samples,
             )
+            _print_explain_analyze(report)
+            return 0
+        if args.repeat > 1:
+            # Prepare once, execute N times: demonstrates the pipeline's
+            # plan reuse and reports the amortized per-execution cost.
+            prepared = engine.prepare(args.query)
+            watch = Stopwatch()
+            with watch:
+                for _ in range(args.repeat):
+                    answer = prepared.answer(
+                        args.mapping_semantics,
+                        args.aggregate_semantics,
+                        samples=args.samples,
+                    )
+            print(answer)
+            print(
+                f"{args.repeat} executions in {watch.elapsed:.4f}s "
+                f"({watch.elapsed / args.repeat * 1e3:.3f} ms/execution, "
+                "prepared once)"
+            )
+            return 0
+        answer = engine.answer(
+            args.query,
+            args.mapping_semantics,
+            args.aggregate_semantics,
+            samples=args.samples,
+        )
+    print(answer)
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: Prometheus exposition of the metrics
+    registry.
+
+    With ``--query`` the metrics are populated first by answering it
+    (over ``--data``/``--mapping``, or a synthetic workload like
+    ``profile``); per-engine registries chain to the process-wide one, so
+    everything the run recorded is visible.  ``--serve`` keeps the
+    process alive behind a stdlib HTTP scrape endpoint instead of
+    printing once.
+    """
+    from repro.exceptions import ReproError
+    from repro.obs import export, metrics
+
+    if (args.data is None) != (args.mapping is None):
+        print(
+            "error: --data and --mapping go together (omit both for a "
+            "synthetic workload)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.query is not None:
+            from repro.core.engine import AggregationEngine
+
+            if args.data is not None:
+                from repro.schema.serialize import load_pmapping
+                from repro.storage.csv_io import load_table_csv
+
+                pmapping = load_pmapping(args.mapping)
+                table = load_table_csv(pmapping.source, args.data)
+            else:
+                from repro.data import synthetic
+                from repro.sql.parser import parse_query
+
+                target = synthetic.mediated_relation(
+                    parse_query(args.query).source.name
+                )
+                source = synthetic.source_relation(args.attributes)
+                table = synthetic.generate_source_table(
+                    args.tuples, args.attributes, seed=args.seed,
+                    relation=source,
+                )
+                pmapping = synthetic.generate_pmapping(
+                    source, args.mappings, seed=args.seed, target=target
+                )
+            with AggregationEngine(
+                [table],
+                pmapping,
+                allow_exponential=args.allow_exponential,
+                allow_sampling=args.samples is not None,
+                max_workers=args.max_workers,
+            ) as engine:
+                for _ in range(args.repeat):
+                    engine.answer(
+                        args.query,
+                        args.mapping_semantics,
+                        args.aggregate_semantics,
+                        samples=args.samples,
+                    )
+        registry = metrics.get_registry()
+        if args.serve:
+            server = export.MetricsServer(registry, port=args.port)
+            print(f"serving metrics at {server.url}", file=sys.stderr)
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+            return 0
+        print(export.render_prometheus(registry), end="")
     except (ReproError, OSError) as error:
         return _fail(error)
-    print(answer)
     return 0
 
 
@@ -564,6 +670,11 @@ def main(argv: list[str] | None = None) -> int:
         "(answers are bit-for-bit equal to the sequential lanes; small "
         "inputs keep the sequential fast path)",
     )
+    query_parser.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="append this invocation's span trees (one JSON object per "
+        "root span, including per-shard spans of a parallel run) to PATH",
+    )
     profile_parser = subparsers.add_parser(
         "profile",
         help="flat per-span profile (calls, cumulative/self time, p50/p95, "
@@ -622,6 +733,49 @@ def main(argv: list[str] | None = None) -> int:
         "(--suite NAME, --list, --warmup, --repeats, --case, --json, "
         "--update-baseline)",
     )
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="Prometheus text exposition of the metrics registry "
+        "(--serve starts a stdlib HTTP scrape endpoint)",
+    )
+    stats_parser.add_argument(
+        "--query", default=None,
+        help="populate the metrics by answering this query first "
+        "(over --data/--mapping, or a synthetic workload)",
+    )
+    stats_parser.add_argument(
+        "--mapping-semantics", "--msem", dest="mapping_semantics",
+        default="by-tuple", choices=["by-table", "by-tuple"],
+    )
+    stats_parser.add_argument(
+        "--aggregate-semantics", "--asem", dest="aggregate_semantics",
+        default="range",
+        choices=["range", "distribution", "expected-value"],
+    )
+    stats_parser.add_argument("--data", default=None,
+                              help="CSV file of the source relation")
+    stats_parser.add_argument(
+        "--mapping", default=None,
+        help="JSON p-mapping (omit both --data and --mapping for a "
+        "synthetic workload)",
+    )
+    stats_parser.add_argument("--repeat", type=int, default=1, metavar="N")
+    stats_parser.add_argument("--tuples", type=int, default=500)
+    stats_parser.add_argument("--attributes", type=int, default=8)
+    stats_parser.add_argument("--mappings", type=int, default=5)
+    stats_parser.add_argument("--seed", type=int, default=0)
+    stats_parser.add_argument("--allow-exponential", action="store_true")
+    stats_parser.add_argument("--samples", type=int, default=None)
+    stats_parser.add_argument("--max-workers", type=int, default=None)
+    stats_parser.add_argument(
+        "--serve", action="store_true",
+        help="serve the exposition at /metrics instead of printing once",
+    )
+    stats_parser.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="TCP port for --serve (default: an ephemeral port, printed "
+        "on startup)",
+    )
     match_parser = subparsers.add_parser(
         "match",
         help="match two CSVs automatically and emit a JSON p-mapping",
@@ -652,6 +806,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "profile":
         return _run_profile(args)
+    if args.command == "stats":
+        return _run_stats(args)
     if args.command == "match":
         return _run_match(args)
     if args.command == "table3":

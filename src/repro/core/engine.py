@@ -81,6 +81,7 @@ from repro.storage.table import Table
 
 if TYPE_CHECKING:
     from repro.obs.profile import Profile
+    from repro.obs.querylog import QueryRecord
 
 
 class AggregationEngine:
@@ -144,6 +145,12 @@ class AggregationEngine:
         sampling estimator (its accuracy contract is recorded on the
         context and in EXPLAIN ANALYZE).  The degraded rerun keeps the
         resource budgets but not the already-spent deadline.
+    query_log_capacity / slow_query_ms / slow_query_path:
+        The always-on structured query log (:mod:`repro.obs.querylog`):
+        ring-buffer capacity behind :meth:`recent_queries`, and the
+        optional slow-query threshold (milliseconds) at or above which a
+        record is also appended, one JSON object per line, to
+        ``slow_query_path``.
     """
 
     def __init__(
@@ -169,6 +176,9 @@ class AggregationEngine:
         max_worlds: int | None = None,
         max_support: int | None = None,
         degrade: bool = False,
+        query_log_capacity: int = 256,
+        slow_query_ms: float | None = None,
+        slow_query_path: str | None = None,
     ) -> None:
         if isinstance(tables, Table):
             tables = [tables]
@@ -232,6 +242,9 @@ class AggregationEngine:
             parallel_executor=parallel_executor,
             budget=budget,
             degrade=degrade,
+            query_log_capacity=query_log_capacity,
+            slow_query_ms=slow_query_ms,
+            slow_query_path=slow_query_path,
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -397,12 +410,21 @@ class AggregationEngine:
             import os
             from concurrent.futures import ThreadPoolExecutor
 
+            # Pool threads start with fresh contexts: re-enter the
+            # caller's effective sink on each worker so a batch traced
+            # under use_sink() records every query, not just none.
+            sink = trace.current_sink()
+
+            def traced(query: str | AggregateQuery):
+                with trace.use_sink(sink):
+                    return one(query)
+
             workers = self.context.max_workers or min(
                 8, os.cpu_count() or 1
             )
             workers = min(workers, len(queries))
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return BatchResult(pool.map(one, queries))
+                return BatchResult(pool.map(traced, queries))
         return BatchResult(one(query) for query in queries)
 
     # -- observability -----------------------------------------------------
@@ -527,6 +549,17 @@ class AggregationEngine:
     def metrics_snapshot(self) -> dict:
         """The per-engine metric state (see ``docs/observability.md``)."""
         return self.context.metrics.snapshot()
+
+    def recent_queries(self, n: int | None = None) -> list["QueryRecord"]:
+        """The last ``n`` structured query records, oldest first.
+
+        Every outermost execution — successful, degraded, or errored —
+        leaves one :class:`~repro.obs.querylog.QueryRecord` in the
+        engine's ring buffer (capacity set by ``query_log_capacity``);
+        ``record.to_dict()`` gives the JSON shape documented in
+        ``docs/observability.md``.
+        """
+        return self.context.query_log.recent(n)
 
     def algorithm_for(
         self,

@@ -23,6 +23,7 @@ import math
 import pickle
 import sqlite3
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Mapping
 from concurrent.futures import BrokenExecutor
@@ -61,7 +62,7 @@ from repro.exceptions import (
     ReproError,
     UnsupportedQueryError,
 )
-from repro.obs import metrics, trace
+from repro.obs import metrics, querylog, trace
 from repro.testing import faults
 from repro.schema.mapping import SchemaPMapping
 from repro.sql.ast import AggregateOp, AggregateQuery
@@ -99,6 +100,9 @@ class ExecutionContext:
         parallel_executor: str = "process",
         budget: guardmod.Budget | None = None,
         degrade: bool = False,
+        query_log_capacity: int = querylog.DEFAULT_CAPACITY,
+        slow_query_ms: float | None = None,
+        slow_query_path: str | None = None,
     ) -> None:
         from repro.core.parallel import DEFAULT_MIN_ROWS_PER_SHARD
 
@@ -122,6 +126,14 @@ class ExecutionContext:
         #: by :meth:`invalidate` and :meth:`close` (build-once semantics:
         #: an entry reflects the table rows at build time).
         self.columnar_cache: dict[str, ColumnarTable] = {}
+        #: The always-on structured query log (``engine.recent_queries()``
+        #: and the slow-query JSONL trail); recorded by the outermost
+        #: :func:`execute_plan` frame on every path, including errors.
+        self.query_log = querylog.QueryLog(
+            query_log_capacity,
+            slow_ms=slow_query_ms,
+            slow_path=slow_query_path,
+        )
         self.cache_size = cache_size
         self.max_workers = max_workers
         self.min_rows_per_shard = (
@@ -421,44 +433,132 @@ def execute_plan(
     (the ``budget`` override, else the context's), translates
     infrastructure failures into typed errors, and — when the context
     enables graceful degradation — walks the lane's degradation chain
-    after a guard breach.  Nested frames (inner plans, fallback re-entry)
-    detect the already-active guard and dispatch directly.
+    after a guard breach.  It also writes the query-log record: exactly
+    one per outermost execution, on the success, degraded, and error
+    paths alike.  Nested frames (inner plans, fallback re-entry) detect
+    the already-active guard and dispatch directly.
     """
     context = plan.context
     context.ensure_open()
     if guardmod.current_guard() is not None:
         # An enclosing execute_plan frame already owns the guard,
-        # translation, and degradation; this is an inner plan.
+        # translation, degradation, and query-log record; this is an
+        # inner plan.
         return _dispatch(
             plan, samples=samples, seed=seed, max_sequences=max_sequences
         )
     context.last_degradation = None
     effective = budget if budget is not None else context.budget
+    started_ts = time.time()
+    started = time.perf_counter()
+    breach: GuardrailError | None = None
+    progress: dict | None = None
+    caught: BaseException | None = None
     try:
-        with guardmod.guarded(effective):
-            return _dispatch(
-                plan, samples=samples, seed=seed, max_sequences=max_sequences
+        try:
+            with guardmod.guarded(effective) as guard:
+                answer = _dispatch(
+                    plan,
+                    samples=samples,
+                    seed=seed,
+                    max_sequences=max_sequences,
+                )
+            if guard is not None:
+                progress = guard.progress()
+            return answer
+        except GuardrailError as error:
+            breach = error
+            progress = dict(error.progress)
+            context.metrics.inc(f"guard.breach.{plan.lane}")
+            if not context.degrade:
+                raise
+            return _degrade(
+                plan,
+                error,
+                effective,
+                samples=samples,
+                seed=seed,
+                max_sequences=max_sequences,
             )
-    except GuardrailError as error:
-        context.metrics.inc(f"guard.breach.{plan.lane}")
-        if not context.degrade:
+        except ReproError:
             raise
-        return _degrade(
-            plan,
-            error,
-            effective,
-            samples=samples,
-            seed=seed,
-            max_sequences=max_sequences,
-        )
-    except ReproError:
+        except _INFRA_ERRORS as error:
+            context.metrics.inc("execute.infra_error")
+            raise EvaluationError(
+                f"execution failed on an infrastructure error: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+    except BaseException as error:
+        caught = error
         raise
-    except _INFRA_ERRORS as error:
-        context.metrics.inc("execute.infra_error")
-        raise EvaluationError(
-            f"execution failed on an infrastructure error: "
-            f"{type(error).__name__}: {error}"
-        ) from error
+    finally:
+        _log_query(
+            plan,
+            ts=started_ts,
+            seconds=time.perf_counter() - started,
+            samples=samples,
+            error=caught,
+            breach=breach,
+            progress=progress,
+        )
+
+
+def _log_query(
+    plan: ExecutionPlan,
+    *,
+    ts: float,
+    seconds: float,
+    samples: int | None,
+    error: BaseException | None,
+    breach: GuardrailError | None,
+    progress: dict | None,
+) -> None:
+    """Record one outermost execution in the context's query log.
+
+    A recovered guard breach logs as ``degraded`` with the breach class
+    kept alongside; an unrecovered error logs as ``error``.  The DKW
+    epsilon is recorded whenever a sampling estimator produced the answer
+    — directly planned or degraded-to.  Query-log persistence failures
+    (the slow-query file) must never fail the query: they downgrade to a
+    metric.
+    """
+    context = plan.context
+    degraded = context.last_degradation
+    if error is not None:
+        status = "error"
+    elif degraded is not None:
+        status = "degraded"
+    else:
+        status = "ok"
+    epsilon = None
+    if degraded is not None and "epsilon" in degraded:
+        epsilon = degraded["epsilon"]
+    elif error is None and plan.lane == Lane.SAMPLING:
+        from repro.core import sampling
+
+        epsilon = sampling.dkw_epsilon(
+            context.samples if samples is None else samples
+        )
+    record = querylog.QueryRecord(
+        ts=ts,
+        query=plan.compiled.text,
+        mapping_semantics=plan.mapping_semantics.value,
+        aggregate_semantics=plan.aggregate_semantics.value,
+        lane=plan.lane,
+        status=status,
+        degraded=dict(degraded) if degraded is not None else None,
+        breach=type(breach).__name__ if breach is not None else None,
+        error=type(error).__name__ if error is not None else None,
+        seconds=seconds,
+        rows=len(plan.compiled.table),
+        worlds=progress.get("worlds") if progress else None,
+        guard=progress,
+        epsilon=epsilon,
+    )
+    try:
+        context.query_log.record(record)
+    except OSError:
+        context.metrics.inc("querylog.write_error")
 
 
 def _dispatch(

@@ -34,6 +34,16 @@ Grouped and nested queries keep their existing lanes: sharding them
 would need per-group fan-out across workers, which the flat fold does
 not; :class:`~repro.core.streaming.GroupedAccumulator` still merges, so
 the algebra is ready when that lane grows.
+
+**Telemetry crosses the pool with the work.**  Each worker folds its
+shard under a context-local metrics registry (and, when the parent has a
+trace sink installed, a context-local span sink), then ships the
+captured :class:`ShardTelemetry` back beside the accumulator — picklable,
+like the exported budgets.  The parent re-parents every shard's
+``parallel.shard`` span subtree under its own ``parallel.map`` span and
+merges the shard metric deltas into the engine registry, so ``EXPLAIN
+ANALYZE`` and ``engine.profile`` see exactly where parallel time went
+even across a process boundary.
 """
 
 from __future__ import annotations
@@ -58,6 +68,7 @@ from repro.core.streaming import (
     TupleStream,
     merge_accumulators,
 )
+from repro.obs import metrics as metrics_mod
 from repro.obs import trace
 from repro.sql.ast import AggregateOp
 from repro.testing import faults
@@ -121,54 +132,111 @@ def shard_rows(rows, shards: int):
     return [rows[start:stop] for start, stop in shard_bounds(len(rows), shards)]
 
 
+class ShardTelemetry:
+    """What one shard worker observed, shipped back beside its accumulator.
+
+    Picklable by construction: ``spans`` is a list of completed
+    :class:`~repro.obs.trace.Span` trees (empty when the parent had no
+    sink installed) and ``metrics`` is the fresh, parentless
+    :class:`~repro.obs.metrics.MetricsRegistry` the shard recorded into.
+    """
+
+    __slots__ = ("shard", "spans", "metrics")
+
+    def __init__(self, shard, spans, metrics):
+        self.shard = shard
+        self.spans = spans
+        self.metrics = metrics
+
+    def __getstate__(self):
+        return (self.shard, self.spans, self.metrics)
+
+    def __setstate__(self, state):
+        self.shard, self.spans, self.metrics = state
+
+
+def _fold_with_telemetry(shard, rows, capture, fold):
+    """Run ``fold`` under shard-local telemetry capture.
+
+    A fresh registry takes this context's metric recordings (so sibling
+    shards on a thread pool never interleave); when ``capture`` is set a
+    context-local sink records the ``parallel.shard`` span subtree.
+    Returns ``(fold_result, ShardTelemetry)``.
+    """
+    registry = metrics_mod.MetricsRegistry()
+    sink = trace.InMemorySink() if capture else None
+    with metrics_mod.use_registry(registry):
+        registry.inc("parallel.shard.folds")
+        registry.inc("parallel.shard.rows", rows)
+        if capture:
+            with trace.capture_into(sink):
+                with trace.span("parallel.shard", shard=shard, rows=rows):
+                    result = fold()
+        else:
+            result = fold()
+    return result, ShardTelemetry(shard, sink.roots if sink else [], registry)
+
+
 def fold_shard(payload):
     """Worker entry point: fold one shard of rows into an accumulator.
 
-    ``payload`` is ``(relation, pmapping, query, cell, rows, budget)``.
-    The stream (with its compiled predicate closures) is rebuilt here, on
-    the worker's side of the process boundary; the returned accumulator is
-    detached so it pickles back cleanly.  ``budget`` is the parent guard's
+    ``payload`` is ``(relation, pmapping, query, cell, rows, budget,
+    shard, capture)``.  The stream (with its compiled predicate closures)
+    is rebuilt here, on the worker's side of the process boundary; the
+    returned accumulator is detached so it pickles back cleanly.
+    ``budget`` is the parent guard's
     :meth:`~repro.core.guard.ExecutionGuard.exportable` budget (or
     ``None``): the shard folds under its own guard, and a guardrail breach
-    pickles back through the pool as the typed error.
+    pickles back through the pool as the typed error.  Returns the
+    accumulator paired with the shard's :class:`ShardTelemetry`
+    (``capture`` asks for the span subtree as well as the metric delta).
     """
-    relation, pmapping, query, cell, rows, budget = payload
+    relation, pmapping, query, cell, rows, budget, shard, capture = payload
     if faults.maybe_fire("parallel.shard") is faults.CORRUPT:
         # A base-class accumulator can never merge with a real one: the
         # merge side detects the corruption and raises a typed error.
-        return Accumulator(None)
-    stream = TupleStream(relation, pmapping, query)
-    accumulator = PARALLEL_CELLS[cell](stream)
-    with guardmod.guarded(budget) as guard:
-        for values in rows:
-            if guard is not None:
-                guard.add_rows(1)
-            accumulator.add_row(values)
-    return accumulator.detach()
+        return Accumulator(None), None
+
+    def fold():
+        stream = TupleStream(relation, pmapping, query)
+        accumulator = PARALLEL_CELLS[cell](stream)
+        with guardmod.guarded(budget) as guard:
+            for values in rows:
+                if guard is not None:
+                    guard.add_rows(1)
+                accumulator.add_row(values)
+        return accumulator.detach()
+
+    return _fold_with_telemetry(shard, len(rows), capture, fold)
 
 
 def fold_columnar_shard(payload):
     """Worker entry point: fold one zero-copy column slice.
 
-    ``payload`` is ``(ctable_slice, pmapping, query, cell, budget)``.  The
-    slice carries only its own rows across a process boundary (the numpy
-    views pickle as compact copies); the array kernels rebuild the
-    participation masks on the worker's side and
+    ``payload`` is ``(ctable_slice, pmapping, query, cell, budget, shard,
+    capture)``.  The slice carries only its own rows across a process
+    boundary (the numpy views pickle as compact copies); the array
+    kernels rebuild the participation masks on the worker's side and
     :func:`~repro.core.vectorized.accumulator_for_problem` folds them
     into exactly the detached accumulator state a sequential row fold of
     the slice would produce — so merging in shard order stays bit-for-bit
-    equal to the scalar lane.
+    equal to the scalar lane.  Returns ``(accumulator, ShardTelemetry)``
+    like :func:`fold_shard`.
     """
     from repro.core import vectorized
 
-    ctable, pmapping, query, cell, budget = payload
+    ctable, pmapping, query, cell, budget, shard, capture = payload
     if faults.maybe_fire("parallel.shard") is faults.CORRUPT:
-        return Accumulator(None)
-    with guardmod.guarded(budget) as guard:
-        if guard is not None:
-            guard.add_rows(ctable.row_count)
-        problem = vectorized.VectorizedProblem(ctable, pmapping, query)
-        return vectorized.accumulator_for_problem(cell, problem)
+        return Accumulator(None), None
+
+    def fold():
+        with guardmod.guarded(budget) as guard:
+            if guard is not None:
+                guard.add_rows(ctable.row_count)
+            problem = vectorized.VectorizedProblem(ctable, pmapping, query)
+            return vectorized.accumulator_for_problem(cell, problem)
+
+    return _fold_with_telemetry(shard, ctable.row_count, capture, fold)
 
 
 def make_pool(kind: str, max_workers: int):
@@ -184,7 +252,8 @@ def make_pool(kind: str, max_workers: int):
     )
 
 
-def _columnar_payloads(context, compiled, query, cell, shards, budget):
+def _columnar_payloads(context, compiled, query, cell, shards, budget,
+                       capture):
     """Zero-copy column-slice shard payloads, or ``None`` to use row lists.
 
     The vectorized+parallel composition: requires numpy, a numpy-backed
@@ -216,8 +285,12 @@ def _columnar_payloads(context, compiled, query, cell, shards, budget):
             query,
             cell,
             budget,
+            shard,
+            capture,
         )
-        for start, stop in shard_bounds(ctable.row_count, shards)
+        for shard, (start, stop) in enumerate(
+            shard_bounds(ctable.row_count, shards)
+        )
     ]
 
 
@@ -245,7 +318,12 @@ def try_parallel(plan):
         return None
     guard = guardmod.current_guard()
     budget = guard.exportable() if guard is not None else None
-    payloads = _columnar_payloads(context, compiled, query, cell, shards, budget)
+    #: Only ask workers for span subtrees when someone is listening; the
+    #: metric delta is always captured (metrics are always on).
+    capture = trace.current_sink() is not None
+    payloads = _columnar_payloads(
+        context, compiled, query, cell, shards, budget, capture
+    )
     if payloads is not None:
         worker = fold_columnar_shard
         context.metrics.inc("parallel.columnar_shards", shards)
@@ -259,15 +337,28 @@ def try_parallel(plan):
                 cell,
                 chunk,
                 budget,
+                shard,
+                capture,
             )
-            for chunk in shard_rows(rows, shards)
+            for shard, chunk in enumerate(shard_rows(rows, shards))
         ]
     try:
         if faults.maybe_fire("parallel.map") is faults.CORRUPT:
             return None  # injected corruption: decline to the exact lanes
         pool = context.pool()
         with trace.span("parallel.map", shards=shards, rows=len(rows)):
-            accumulators = list(pool.map(worker, payloads))
+            outcomes = list(pool.map(worker, payloads))
+            # Re-parent each shard's recorded subtree under this span, in
+            # shard order (pool.map preserves input order, so the stitched
+            # tree is deterministic across process and thread pools).
+            for _, telemetry in outcomes:
+                if telemetry is not None:
+                    for shard_root in telemetry.spans:
+                        trace.attach(shard_root)
+        accumulators = [accumulator for accumulator, _ in outcomes]
+        for _, telemetry in outcomes:
+            if telemetry is not None:
+                context.metrics.merge(telemetry.metrics)
     except (BrokenExecutor, OSError, pickle.PicklingError) as error:
         # A sandboxed host (no fork), a dead pool, or an unpicklable
         # payload: the sequential fallback still answers correctly.

@@ -14,13 +14,21 @@ per tuple.
   behind the CLI, the benchmark harness, and ``EXPLAIN ANALYZE``.
 * :mod:`repro.obs.profile` — flat profiles (calls, cumulative, *self*
   time, percentiles, critical path) aggregated from recorded span trees.
+* :mod:`repro.obs.querylog` — the always-on ring buffer of structured
+  per-query records behind ``engine.recent_queries()`` and the
+  slow-query JSONL trail.
+* :mod:`repro.obs.export` — Prometheus text exposition over the metrics
+  registry (and the scrape endpoint behind ``repro stats --serve``).
 
-See ``docs/observability.md`` for the span and metric catalogs.
+See ``docs/observability.md`` for the span and metric catalogs, the
+query-log record schema, and the exporter's naming conventions.
 """
 
-from repro.obs import metrics, trace
+from repro.obs import export, metrics, querylog, trace
+from repro.obs.export import render_prometheus
 from repro.obs.metrics import MetricsRegistry, percentile
 from repro.obs.profile import Profile, build_profile
+from repro.obs.querylog import QueryLog, QueryRecord
 from repro.obs.timers import Stopwatch, time_call
 from repro.obs.trace import (
     InMemorySink,
@@ -38,13 +46,18 @@ __all__ = [
     "JSONLSink",
     "MetricsRegistry",
     "Profile",
+    "QueryLog",
+    "QueryRecord",
     "Span",
     "Stopwatch",
     "add_attribute",
     "build_profile",
+    "export",
     "install_sink",
     "metrics",
     "percentile",
+    "querylog",
+    "render_prometheus",
     "span",
     "time_call",
     "trace",

@@ -11,6 +11,17 @@ forwards every recording to it, so the per-engine registry on
 (``invalidate()``/``close()``) while the process-wide default registry
 keeps the cumulative totals that ``EXPLAIN ANALYZE`` diffs.
 
+Two facilities make metrics survive concurrency and process boundaries:
+
+* :func:`use_registry` swaps the *default* registry for the current
+  context only (a :mod:`contextvars` override), so a pool shard — thread
+  or process — can capture exactly its own recordings into a fresh
+  registry and ship that delta back;
+* :meth:`MetricsRegistry.merge` folds such a shipped registry into
+  another one (propagating up the parent chain), which is how the
+  parallel lane re-integrates per-shard metrics into the engine's
+  registry.
+
 The metric catalog (names and meanings) is in ``docs/observability.md``.
 """
 
@@ -20,6 +31,8 @@ import json
 import math
 import random
 from collections.abc import Sequence
+from contextlib import contextmanager
+from contextvars import ContextVar
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -103,6 +116,33 @@ class Histogram:
         """The reservoir-estimated ``q``-th percentile (0-100)."""
         return percentile(self._reservoir, q)
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        ``count``/``sum``/``min``/``max`` combine exactly.  The reservoir
+        absorbs the other side's sampled values through the same
+        Algorithm-R slot rule, so the merged percentiles remain a uniform
+        estimate of the combined stream (exact while both reservoirs
+        together fit; an approximation after, as ever).
+        """
+        if other.count == 0:
+            return
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for value in other._reservoir:
+            self.count += 1
+            if len(self._reservoir) < self.RESERVOIR_SIZE:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.RESERVOIR_SIZE:
+                    self._reservoir[slot] = value
+        # Observations the other reservoir sampled away still count.
+        self.count += other.count - len(other._reservoir)
+
     def summary(self) -> dict:
         """A JSON-ready summary (empty histogram: all-zero, no min/max)."""
         if self.count == 0:
@@ -168,6 +208,30 @@ class MetricsRegistry:
         self.histogram(name).observe(value)
         if self.parent is not None:
             self.parent.observe(name, value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's state into this one (and its ancestors).
+
+        Counters add, gauges take the other side's last write, histograms
+        merge observation-by-observation (see :meth:`Histogram.merge`).
+        This is how a pool shard's captured delta re-enters the engine
+        registry: the shard recorded into a fresh registry under
+        :func:`use_registry`, shipped it back, and the parent merges it
+        here — so the chained process-wide totals stay complete even when
+        the recording happened in another process.
+        """
+        for name, counter in other._counters.items():
+            if counter.value:
+                self.inc(name, counter.value)
+        for name, gauge in other._gauges.items():
+            self.set_gauge(name, gauge.value)
+        for name, histogram in other._histograms.items():
+            self._merge_histogram(name, histogram)
+
+    def _merge_histogram(self, name: str, histogram: Histogram) -> None:
+        self.histogram(name).merge(histogram)
+        if self.parent is not None:
+            self.parent._merge_histogram(name, histogram)
 
     # -- reading -----------------------------------------------------------
 
@@ -239,35 +303,64 @@ def delta(before: dict, after: dict) -> dict:
 #: execution context (kernels, sampling, streaming, SQLite) records here.
 _DEFAULT = MetricsRegistry()
 
+#: A context-local override of the default registry.  While set (see
+#: :func:`use_registry`), every module-level recording in this context —
+#: and only this context — lands on the override instead, which is how a
+#: pool shard captures its own delta without interleaving with sibling
+#: shards on other threads.
+_ACTIVE: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_metrics_registry", default=None
+)
+
 
 def get_registry() -> MetricsRegistry:
-    """The process-wide default registry."""
-    return _DEFAULT
+    """The effective default registry of this context.
+
+    The context-local override installed by :func:`use_registry` when one
+    is active, else the process-wide default.
+    """
+    active = _ACTIVE.get()
+    return active if active is not None else _DEFAULT
 
 
 def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
-    """Swap the default registry (tests); returns the previous one."""
+    """Swap the process-wide default registry (tests); returns the
+    previous one."""
     global _DEFAULT
     previous = _DEFAULT
     _DEFAULT = registry
     return previous
 
 
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Route this context's module-level recordings to ``registry``.
+
+    Context-local (a thread or process pool worker installs its own
+    without touching siblings); restores the previous state on exit.
+    """
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)
+
+
 def inc(name: str, amount: int = 1) -> None:
-    """Increment a counter on the default registry."""
-    _DEFAULT.inc(name, amount)
+    """Increment a counter on the effective default registry."""
+    get_registry().inc(name, amount)
 
 
 def set_gauge(name: str, value: float) -> None:
-    """Set a gauge on the default registry."""
-    _DEFAULT.set_gauge(name, value)
+    """Set a gauge on the effective default registry."""
+    get_registry().set_gauge(name, value)
 
 
 def observe(name: str, value: float) -> None:
-    """Record a histogram observation on the default registry."""
-    _DEFAULT.observe(name, value)
+    """Record a histogram observation on the effective default registry."""
+    get_registry().observe(name, value)
 
 
 def snapshot() -> dict:
-    """Snapshot the default registry."""
-    return _DEFAULT.snapshot()
+    """Snapshot the effective default registry."""
+    return get_registry().snapshot()

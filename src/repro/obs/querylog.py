@@ -1,0 +1,228 @@
+"""An always-on structured log of every query execution.
+
+Spans (:mod:`repro.obs.trace`) answer *where time went inside* one
+execution; metrics (:mod:`repro.obs.metrics`) answer *how much of
+everything happened* cumulatively.  The query log answers the operational
+question in between: *which queries ran, what did each one cost, and what
+did it get* — one :class:`QueryRecord` per outermost execution, capturing
+the wall-clock timestamp, the query digest, the chosen (and, after a
+guard breach, degraded) lane, the guard's partial-progress counters, the
+DKW epsilon whenever a sampling estimator produced the answer, the error
+class on failure, and the duration.
+
+The log is a bounded ring buffer on the engine's
+:class:`~repro.core.execute.ExecutionContext`, recorded from the
+outermost frame of :func:`~repro.core.execute.execute_plan` — success,
+degradation, and error paths alike — and surfaced as
+:meth:`engine.recent_queries()
+<repro.core.engine.AggregationEngine.recent_queries>`.  Recording a query
+is a handful of attribute assignments plus one deque append; there is no
+off switch because none is needed.
+
+A *slow-query threshold* (``slow_query_ms``) optionally persists
+offending records: any record at or above the threshold is appended as
+one JSON object per line to ``slow_query_path``, the shape audit
+tooling tails.  The record schema is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+#: Default ring-buffer capacity (engine kwarg ``query_log_capacity``).
+DEFAULT_CAPACITY = 256
+
+
+def query_digest(text: str) -> str:
+    """A short stable digest of the canonical query text.
+
+    Lets log consumers group and join records by query identity without
+    carrying (or exposing) full query text in downstream systems.
+    """
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()[:12]
+
+
+class QueryRecord:
+    """One executed query, as the audit trail sees it.
+
+    Attributes
+    ----------
+    ts:
+        Wall-clock epoch seconds when execution started (correlates with
+        ``Span.start_ts``).
+    query / digest:
+        The canonical SQL text and its :func:`query_digest`.
+    mapping_semantics / aggregate_semantics:
+        The semantics cell, as the enum string values.
+    lane:
+        The planner-chosen execution lane.
+    status:
+        ``"ok"`` | ``"degraded"`` | ``"error"``.
+    degraded:
+        The degradation event dict (``from``/``to``/``reason``/
+        ``progress``, plus ``samples``/``epsilon`` for a sampling rerun),
+        or ``None``.
+    breach:
+        Class name of the guardrail error that tripped (recorded whether
+        degradation recovered or the error propagated), or ``None``.
+    error:
+        Class name of the error the caller saw, or ``None`` on success
+        (a recovered breach leaves ``error`` ``None`` but sets
+        ``breach``).
+    seconds:
+        Monotonic wall-clock duration of the outermost execution frame.
+    rows:
+        Input size: row count of the compiled query's source table.
+    worlds:
+        Possible worlds the guard counted (``None`` when no guard ran —
+        world counting lives in the guard's cooperative checks).
+    guard:
+        The guard's final partial-progress counters (``rows``/``worlds``
+        processed), or ``None`` when no budget was active.
+    epsilon:
+        The DKW accuracy contract when a sampling estimator produced the
+        answer (directly planned or degraded-to), else ``None``.
+    """
+
+    __slots__ = (
+        "ts",
+        "query",
+        "digest",
+        "mapping_semantics",
+        "aggregate_semantics",
+        "lane",
+        "status",
+        "degraded",
+        "breach",
+        "error",
+        "seconds",
+        "rows",
+        "worlds",
+        "guard",
+        "epsilon",
+    )
+
+    def __init__(
+        self,
+        *,
+        ts: float,
+        query: str,
+        mapping_semantics: str,
+        aggregate_semantics: str,
+        lane: str,
+        status: str,
+        seconds: float,
+        rows: int,
+        degraded: dict | None = None,
+        breach: str | None = None,
+        error: str | None = None,
+        worlds: int | None = None,
+        guard: dict | None = None,
+        epsilon: float | None = None,
+    ) -> None:
+        self.ts = ts
+        self.query = query
+        self.digest = query_digest(query)
+        self.mapping_semantics = mapping_semantics
+        self.aggregate_semantics = aggregate_semantics
+        self.lane = lane
+        self.status = status
+        self.degraded = degraded
+        self.breach = breach
+        self.error = error
+        self.seconds = seconds
+        self.rows = rows
+        self.worlds = worlds
+        self.guard = guard
+        self.epsilon = epsilon
+
+    def to_dict(self) -> dict:
+        """A JSON-ready form (the JSONL slow-log line shape)."""
+        return {
+            "ts": self.ts,
+            "query": self.query,
+            "digest": self.digest,
+            "mapping_semantics": self.mapping_semantics,
+            "aggregate_semantics": self.aggregate_semantics,
+            "lane": self.lane,
+            "status": self.status,
+            "degraded": self.degraded,
+            "breach": self.breach,
+            "error": self.error,
+            "seconds": self.seconds,
+            "rows": self.rows,
+            "worlds": self.worlds,
+            "guard": self.guard,
+            "epsilon": self.epsilon,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryRecord({self.digest} {self.lane} {self.status} "
+            f"{self.seconds * 1e3:.3f} ms)"
+        )
+
+
+class QueryLog:
+    """A thread-safe ring buffer of the last ``capacity`` query records.
+
+    ``slow_ms``/``slow_path`` arm the slow-query trail: records whose
+    duration is at or above the threshold are additionally appended (one
+    JSON object per line, under the lock) to the file at ``slow_path``.
+    A threshold of ``0`` persists every record — the smoke-test and
+    trace-everything configuration.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        slow_ms: float | None = None,
+        slow_path: str | Path | None = None,
+    ) -> None:
+        self.slow_ms = slow_ms
+        self.slow_path = Path(slow_path) if slow_path is not None else None
+        self._records: deque[QueryRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, record: QueryRecord) -> None:
+        """Append one record (and persist it when it is slow)."""
+        slow = (
+            self.slow_ms is not None
+            and self.slow_path is not None
+            and record.seconds * 1000.0 >= self.slow_ms
+        )
+        with self._lock:
+            self._records.append(record)
+            if slow:
+                with self.slow_path.open("a") as handle:
+                    handle.write(json.dumps(record.to_dict()) + "\n")
+
+    def recent(self, n: int | None = None) -> list[QueryRecord]:
+        """The last ``n`` records (all buffered ones by default), oldest
+        first."""
+        with self._lock:
+            records = list(self._records)
+        if n is not None:
+            records = records[-n:] if n > 0 else []
+        return records
+
+    def clear(self) -> None:
+        """Drop every buffered record (the slow-query file is untouched)."""
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+def now() -> float:
+    """Wall-clock epoch seconds (one seam for tests to patch)."""
+    return time.time()

@@ -1,0 +1,392 @@
+"""End-to-end telemetry: concurrent tracing, cross-worker stitching, the
+query log, and the Prometheus exporter.
+
+The :mod:`repro.obs` primitives in isolation are covered by
+``test_obs.py``; this module covers what PR 7 added on top — trace
+context surviving threads and pool workers, the always-on structured
+query log, and metrics exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.engine import AggregationEngine
+from repro.core.guard import Budget
+from repro.data import synthetic
+from repro.exceptions import BudgetExceededError
+from repro.obs import export, metrics, trace
+from repro.obs.export import MetricsServer, render_prometheus, sanitize
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.querylog import QueryLog, QueryRecord, query_digest
+from repro.obs.trace import InMemorySink
+from repro.sql.ast import AggregateOp
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return synthetic.generate_workload(4000, 6, 4, seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return synthetic.generate_workload(300, 6, 4, seed=1)
+
+
+def _tree_names(span):
+    return [s.name for s in span.walk()]
+
+
+class TestConcurrentTracing:
+    def test_two_threads_two_sinks_disjoint_trees(self, small_workload):
+        """Simultaneous answers under different sinks never interleave."""
+        w = small_workload
+        engine = AggregationEngine(w.table, w.pmapping)
+        query = w.query(AggregateOp.SUM)
+        engine.answer(query, "by-tuple", "range")  # warm the caches
+        sinks = [InMemorySink(), InMemorySink()]
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def answer_traced(sink):
+            try:
+                with trace.use_sink(sink):
+                    barrier.wait(timeout=10)
+                    for _ in range(20):
+                        engine.answer(query, "by-tuple", "range")
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=answer_traced, args=(sink,))
+            for sink in sinks
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for sink in sinks:
+            # Each thread's sink holds exactly its own 20 executions,
+            # each a well-formed tree rooted at `answer`.
+            assert len(sink.roots) == 20
+            for root in sink.roots:
+                assert root.name == "answer"
+                assert root.seconds > 0.0
+                names = _tree_names(root)
+                assert "execute.scalar" in names
+
+    def test_thread_without_sink_records_nothing(self, small_workload):
+        """A context-local sink does not leak into unrelated threads."""
+        w = small_workload
+        engine = AggregationEngine(w.table, w.pmapping)
+        query = w.query(AggregateOp.COUNT)
+        recorded = []
+
+        def answer_untraced():
+            recorded.append(trace.current_sink())
+            engine.answer(query, "by-tuple", "range")
+
+        with trace.use_sink(InMemorySink()) as sink:
+            thread = threading.Thread(target=answer_untraced)
+            thread.start()
+            thread.join()
+            assert len(sink.roots) == 0
+        assert recorded == [None]
+
+    def test_answer_many_parallel_propagates_sink(self, small_workload):
+        """The thread fan-out re-enters the caller's sink per worker."""
+        w = small_workload
+        engine = AggregationEngine(w.table, w.pmapping)
+        queries = [w.query(op) for op in
+                   (AggregateOp.SUM, AggregateOp.COUNT, AggregateOp.AVG)]
+        with trace.use_sink(InMemorySink()) as sink:
+            batch = engine.answer_many(queries, "by-tuple", "range",
+                                       parallel=True)
+        assert len(list(batch)) == 3
+        roots = [r for r in sink.roots if r.name == "answer"]
+        assert len(roots) == 3
+
+    def test_use_sink_none_silences_process_default(self):
+        probe = InMemorySink()
+        trace.install_sink(probe)
+        try:
+            with trace.use_sink(None):
+                with trace.span("invisible"):
+                    pass
+            with trace.span("visible"):
+                pass
+        finally:
+            trace.uninstall_sink()
+        assert [r.name for r in probe.roots] == ["visible"]
+
+    def test_capture_into_detaches_from_open_spans(self):
+        """A capture scope records roots even under an open parent span."""
+        local = InMemorySink()
+        with trace.use_sink(InMemorySink()) as outer_sink:
+            with trace.span("outer"):
+                with trace.capture_into(local):
+                    with trace.span("detached"):
+                        pass
+        (outer_root,) = outer_sink.roots
+        assert outer_root.children == []  # not adopted by `outer`
+        assert [r.name for r in local.roots] == ["detached"]
+
+    def test_span_start_ts_wall_clock(self):
+        with trace.use_sink(InMemorySink()) as sink:
+            with trace.span("stamped"):
+                pass
+        (root,) = sink.roots
+        assert root.start_ts is not None and root.start_ts > 1e9
+        assert root.to_dict()["start_ts"] == root.start_ts
+
+    def test_span_pickles_as_closed_tree(self):
+        with trace.use_sink(InMemorySink()) as sink:
+            with trace.span("parent", shard=3):
+                with trace.span("child"):
+                    pass
+        clone = pickle.loads(pickle.dumps(sink.roots[0]))
+        assert _tree_names(clone) == ["parent", "child"]
+        assert clone.attributes == {"shard": 3}
+        assert clone.seconds == sink.roots[0].seconds
+
+
+class TestShardStitching:
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_reparenting_deterministic(self, workload, executor):
+        """Every pool shard's subtree lands under parallel.map, in shard
+        order, with its metrics merged — identically for both pools."""
+        w = workload
+        engine = AggregationEngine(
+            w.table, w.pmapping, max_workers=4, min_rows_per_shard=500,
+            parallel_executor=executor,
+        )
+        with engine, trace.use_sink(InMemorySink()) as sink:
+            engine.answer(w.query(AggregateOp.SUM), "by-tuple", "range")
+            (lane_span,) = sink.find("parallel.map")
+            shard_spans = lane_span.children
+            assert [s.name for s in shard_spans] == ["parallel.shard"] * 4
+            # Deterministic: children arrive in shard order regardless of
+            # which worker finished first.
+            assert [s.attributes["shard"] for s in shard_spans] == [0, 1, 2, 3]
+            assert sum(s.attributes["rows"] for s in shard_spans) == 4000
+            for span in shard_spans:
+                assert span.seconds > 0.0
+                assert span.start_ts is not None
+            snapshot = engine.metrics_snapshot()
+            assert snapshot["parallel.shard.folds"] == 4
+            assert snapshot["parallel.shard.folds"] == (
+                snapshot["parallel.columnar_shards"]
+            )
+            assert snapshot["parallel.shard.rows"] == 4000
+
+    def test_untraced_parallel_run_ships_no_spans(self, workload):
+        """Without a sink the workers skip span capture but still ship
+        their metric deltas."""
+        w = workload
+        engine = AggregationEngine(
+            w.table, w.pmapping, max_workers=2, min_rows_per_shard=500,
+            parallel_executor="thread",
+        )
+        with engine:
+            engine.answer(w.query(AggregateOp.SUM), "by-tuple", "range")
+            assert engine.metrics_snapshot()["parallel.shard.folds"] == 2
+
+    def test_explain_analyze_shows_shard_subtrees(self, workload):
+        """The acceptance criterion: explain_analyze of a parallel-lane
+        query surfaces per-shard spans and merged shard metrics."""
+        w = workload
+        engine = AggregationEngine(
+            w.table, w.pmapping, max_workers=2, min_rows_per_shard=500,
+            parallel_executor="thread",
+        )
+        with engine:
+            report = engine.explain_analyze(
+                w.query(AggregateOp.SUM), "by-tuple", "range"
+            )
+
+        def find(node, name):
+            if node["name"] == name:
+                return node
+            for child in node["children"]:
+                found = find(child, name)
+                if found is not None:
+                    return found
+            return None
+
+        (root,) = report["spans"]
+        lane = find(root, "parallel.map")
+        assert lane is not None
+        shard_names = [c["name"] for c in lane["children"]]
+        assert shard_names == ["parallel.shard"] * 2
+        assert report["metrics"]["parallel.shard.folds"] == 2
+        assert report["metrics"]["parallel.shard.folds"] == (
+            report["metrics"]["parallel.columnar_shards"]
+        )
+
+
+class TestQueryLog:
+    def test_success_record(self, small_workload):
+        w = small_workload
+        engine = AggregationEngine(w.table, w.pmapping)
+        query = w.query(AggregateOp.SUM)
+        engine.answer(query, "by-tuple", "range")
+        (record,) = engine.recent_queries()
+        assert record.status == "ok"
+        assert record.lane == "scalar"
+        assert record.mapping_semantics == "by-tuple"
+        assert record.aggregate_semantics == "range"
+        assert record.rows == 300
+        assert record.error is None and record.breach is None
+        assert record.seconds > 0.0
+        assert record.ts > 1e9
+        assert record.digest == query_digest(record.query)
+
+    def test_error_record_keeps_guard_progress(self, small_workload):
+        w = small_workload
+        engine = AggregationEngine(w.table, w.pmapping)
+        with pytest.raises(BudgetExceededError):
+            engine.answer(w.query(AggregateOp.SUM), "by-tuple", "range",
+                          budget=Budget(max_rows=10))
+        record = engine.recent_queries()[-1]
+        assert record.status == "error"
+        assert record.error == "BudgetExceededError"
+        assert record.breach == "BudgetExceededError"
+        assert record.guard["rows"] > 10
+        assert record.worlds == record.guard["worlds"]
+
+    def test_degraded_record_carries_epsilon(self):
+        w = synthetic.generate_workload(12, 3, 3, seed=2)
+        engine = AggregationEngine(
+            w.table, w.pmapping, allow_exponential=True, allow_sampling=True,
+            max_worlds=20, degrade=True, samples=50,
+        )
+        engine.answer(w.query(AggregateOp.SUM), "by-tuple", "distribution")
+        record = engine.recent_queries()[-1]
+        assert record.status == "degraded"
+        assert record.lane == "naive"
+        assert record.degraded["to"] == "sampling"
+        assert record.breach == "BudgetExceededError"
+        assert record.epsilon is not None and 0 < record.epsilon < 1
+
+    def test_sampling_lane_records_epsilon(self, small_workload):
+        w = small_workload
+        engine = AggregationEngine(w.table, w.pmapping, allow_sampling=True,
+                                   samples=100)
+        engine.answer(w.query(AggregateOp.SUM), "by-tuple", "distribution")
+        record = engine.recent_queries()[-1]
+        assert record.lane == "sampling"
+        from repro.core.sampling import dkw_epsilon
+
+        assert record.epsilon == dkw_epsilon(100)
+
+    def test_ring_buffer_capacity_and_order(self, small_workload):
+        w = small_workload
+        engine = AggregationEngine(w.table, w.pmapping, query_log_capacity=3)
+        for op in (AggregateOp.SUM, AggregateOp.COUNT, AggregateOp.AVG,
+                   AggregateOp.MAX):
+            engine.answer(w.query(op), "by-tuple", "range")
+        records = engine.recent_queries()
+        assert len(records) == 3
+        assert [r.ts for r in records] == sorted(r.ts for r in records)
+        assert engine.recent_queries(2) == records[-2:]
+        assert engine.recent_queries(0) == []
+
+    def test_slow_query_jsonl(self, small_workload, tmp_path):
+        w = small_workload
+        slow_path = tmp_path / "slow.jsonl"
+        engine = AggregationEngine(
+            w.table, w.pmapping,
+            slow_query_ms=0, slow_query_path=str(slow_path),
+        )
+        engine.answer(w.query(AggregateOp.SUM), "by-tuple", "range")
+        engine.answer(w.query(AggregateOp.COUNT), "by-tuple", "range")
+        lines = slow_path.read_text().splitlines()
+        assert len(lines) == 2
+        for line, record in zip(lines, engine.recent_queries()):
+            assert json.loads(line) == record.to_dict()
+
+    def test_slow_threshold_filters(self):
+        log = QueryLog(slow_ms=1000.0, slow_path="/nonexistent/never.jsonl")
+        log.record(QueryRecord(
+            ts=0.0, query="q", mapping_semantics="by-tuple",
+            aggregate_semantics="range", lane="scalar", status="ok",
+            seconds=0.001, rows=1,
+        ))  # under threshold: the unwritable path is never touched
+        assert len(log) == 1
+
+    def test_record_round_trips_through_json(self):
+        record = QueryRecord(
+            ts=12.5, query="SELECT COUNT(*) FROM T",
+            mapping_semantics="by-table", aggregate_semantics="distribution",
+            lane="by-table", status="ok", seconds=0.25, rows=7,
+        )
+        data = json.loads(json.dumps(record.to_dict()))
+        assert data["digest"] == query_digest("SELECT COUNT(*) FROM T")
+        assert data["status"] == "ok"
+        assert data["epsilon"] is None
+
+
+class TestExport:
+    def test_sanitize(self):
+        assert sanitize("plan.cache.hit") == "repro_plan_cache_hit"
+        assert sanitize("a-b c") == "repro_a_b_c"
+
+    def test_counter_gauge_histogram_families(self):
+        registry = MetricsRegistry()
+        registry.inc("plan.cache.hit", 3)
+        registry.set_gauge("pool.size", 4.0)
+        for value in (1.0, 2.0, 3.0):
+            registry.observe("merge.ns", value)
+        text = render_prometheus(registry)
+        assert text.endswith("\n")
+        assert "# TYPE repro_plan_cache_hit_total counter" in text
+        assert "repro_plan_cache_hit_total 3" in text
+        assert "# TYPE repro_pool_size gauge" in text
+        assert "repro_pool_size 4.0" in text
+        assert "# TYPE repro_merge_ns summary" in text
+        assert 'repro_merge_ns{quantile="0.5"} 2.0' in text
+        assert "repro_merge_ns_sum 6.0" in text
+        assert "repro_merge_ns_count 3" in text
+
+    def test_empty_histogram_omits_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("quiet")
+        text = render_prometheus(registry)
+        assert "quantile" not in text
+        assert "repro_quiet_count 0" in text
+
+    def test_default_registry(self):
+        registry = MetricsRegistry()
+        with metrics.use_registry(registry):
+            metrics.inc("scoped.counter")
+            text = render_prometheus()
+        assert "repro_scoped_counter_total 1" in text
+
+    def test_metrics_server_scrapes(self):
+        registry = MetricsRegistry()
+        registry.inc("served.requests", 7)
+        with MetricsServer(registry) as server:
+            body = urllib.request.urlopen(server.url, timeout=10).read()
+            assert b"repro_served_requests_total 7" in body
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/nope", timeout=10
+                )
+
+    def test_shard_metrics_reach_exposition(self, workload):
+        w = workload
+        engine = AggregationEngine(
+            w.table, w.pmapping, max_workers=2, min_rows_per_shard=500,
+            parallel_executor="thread",
+        )
+        with engine:
+            engine.answer(w.query(AggregateOp.SUM), "by-tuple", "range")
+            text = export.render_prometheus(engine.context.metrics)
+        assert "repro_parallel_shard_folds_total 2" in text
