@@ -6,7 +6,9 @@ inputs (CSV + JSON p-mapping), and runs ``repro-bench query
 --explain-analyze`` for a COUNT query under every (mapping semantics,
 aggregate semantics) cell — COUNT is PTIME across the whole Figure 6
 row, so all six must execute.  Fails (exit 1) when any invocation
-returns non-zero or prints an empty metrics section.
+returns non-zero, prints an empty metrics section, omits the cost
+model's estimated-vs-actual block (``est rows=... actual rows=...``),
+or reports a non-finite misestimation ratio.
 
 Run from the repository root::
 
@@ -17,6 +19,8 @@ from __future__ import annotations
 
 import contextlib
 import io
+import math
+import re
 import sys
 import tempfile
 from pathlib import Path
@@ -49,6 +53,40 @@ def metrics_lines(output: str) -> list[str]:
     return collected
 
 
+def cost_lines(output: str) -> list[str]:
+    """The indented lines following the ``cost:`` header."""
+    lines = output.splitlines()
+    try:
+        start = lines.index("cost:") + 1
+    except ValueError:
+        return []
+    collected = []
+    for line in lines[start:]:
+        if not line.startswith("  "):
+            break
+        collected.append(line.strip())
+    return collected
+
+
+def check_cost_block(lines: list[str]) -> str | None:
+    """Why the estimated-vs-actual block is malformed, or ``None`` if OK.
+
+    Requires estimated AND actual values for rows and cost, and every
+    printed misestimation ratio to be a finite positive number.
+    """
+    joined = "\n".join(lines)
+    for kind in ("rows", "cost"):
+        if not re.search(rf"est {kind}=\S+ actual {kind}=\S+", joined):
+            return f"missing est/actual {kind}"
+    ratios = [float(m) for m in re.findall(r"\(x([0-9.eE+-]+)\)", joined)]
+    if not ratios:
+        return "no misestimation ratios"
+    for ratio in ratios:
+        if not math.isfinite(ratio) or ratio <= 0:
+            return f"non-finite misestimation ratio {ratio!r}"
+    return None
+
+
 def run() -> int:
     workload = synthetic.generate_workload(200, 6, 4, seed=0)
     failures = 0
@@ -71,6 +109,8 @@ def run() -> int:
                 code = main(argv)
             output = buffer.getvalue()
             metrics = metrics_lines(output)
+            costs = cost_lines(output)
+            cost_problem = check_cost_block(costs)
             label = f"({msem}, {asem})"
             if code != 0:
                 print(f"FAIL {label}: exit code {code}")
@@ -80,8 +120,15 @@ def run() -> int:
                 print(f"FAIL {label}: empty metrics section")
                 print(output)
                 failures += 1
+            elif cost_problem is not None:
+                print(f"FAIL {label}: {cost_problem}")
+                print(output)
+                failures += 1
             else:
-                print(f"ok   {label}: {len(metrics)} metric deltas")
+                print(
+                    f"ok   {label}: {len(metrics)} metric deltas, "
+                    f"{len(costs)} cost lines"
+                )
     if failures:
         print(f"{failures} of {len(CELLS)} cells failed")
         return 1

@@ -40,11 +40,21 @@ invocation's full span trees to a JSONL file.
 deadline), ``--max-worlds`` (cap on enumerated/sampled possible worlds),
 and ``--degrade`` (fall back to a cheaper lane instead of failing).
 
+Two more observability subcommands read the telemetry back::
+
+    repro-bench recent --file slow.jsonl      # query-log records as a table
+    repro-bench feedback --collect --query "SELECT COUNT(*) FROM T"
+
+``recent`` renders structured query-log records (a slow-query JSONL
+trail, or a fresh synthetic run) as an aligned table or ``--json``;
+``feedback`` inspects — or, with ``--collect``, populates — the
+cost-model calibration store (see ``docs/observability.md``).
+
 Errors never print a traceback: they emit one ``error: ...`` line on
 stderr and exit with a code naming the failure class — 2 generic/usage,
 3 SQL syntax, 4 unsupported query, 5 schema, 6 mapping, 7 reformulation,
 8 storage, 9 intractable, 10 deadline, 11 budget, 12 other guardrail,
-13 evaluation (see :data:`EXIT_CODES`).
+13 evaluation, 14 metrics export (see :data:`EXIT_CODES`).
 """
 
 from __future__ import annotations
@@ -71,6 +81,7 @@ EXIT_CODES: tuple[tuple[type, int], ...] = (
     (exceptions.MappingError, 6),
     (exceptions.ReformulationError, 7),
     (exceptions.StorageError, 8),
+    (exceptions.MetricsExportError, 14),
     (exceptions.EvaluationError, 13),
 )
 
@@ -277,6 +288,34 @@ def _render_plan(plan: dict, indent: int = 0) -> list[str]:
         lines.append(
             f"{pad}  degradation chain: {' -> '.join(degradation)}"
         )
+    estimate = plan.get("estimate")
+    if estimate:
+        lines.append(
+            f"{pad}  estimate: rows={estimate['rows']:g} "
+            f"worlds={estimate['worlds']:g} "
+            f"support={estimate['support']:g} cost={estimate['cost']:g}"
+        )
+        cutover = estimate.get("cutover_rows")
+        if cutover is not None:
+            if cutover >= (1 << 62):
+                lines.append(
+                    f"{pad}  parallel cutover: never (calibrated: parallel "
+                    "does not pay off here)"
+                )
+            else:
+                lines.append(f"{pad}  parallel cutover: {cutover} rows")
+        if estimate.get("predicted_seconds") is not None:
+            lines.append(
+                f"{pad}  predicted: "
+                f"{estimate['predicted_seconds'] * 1e3:.3f} ms (calibrated)"
+            )
+        preempted = estimate.get("preempted")
+        if preempted:
+            lines.append(
+                f"{pad}  preempted: {preempted['from']} -> "
+                f"{preempted['to']} (estimated {preempted['resource']} "
+                f"exceed budget limit {preempted['limit']})"
+            )
     if plan["paper_reference"]:
         lines.append(f"{pad}  paper: {plan['paper_reference']}")
     if plan["fallback"] is not None:
@@ -301,10 +340,41 @@ def _render_span(span: dict, indent: int = 0) -> list[str]:
     return lines
 
 
+def _estimate_vs_actual_lines(report: dict) -> list[str]:
+    """Postgres-style ``est rows=... actual rows=... (xR)`` lines for the
+    executed lane, from the report's estimates/actuals/misestimation."""
+    estimates = report.get("estimates")
+    actuals = report.get("actuals")
+    if not estimates or not actuals:
+        return []
+    ratios = report.get("misestimation") or {}
+    lines = [f"  lane: {report.get('executed_lane', estimates['lane'])}"]
+    for kind in ("rows", "worlds", "support", "cost"):
+        expected = estimates.get(kind)
+        observed = actuals.get(kind)
+        if expected is None:
+            continue
+        rendered = f"  est {kind}={expected:g}"
+        if observed is not None:
+            rendered += f" actual {kind}={observed:g}"
+        if kind in ratios:
+            rendered += f" (x{ratios[kind]:.2f})"
+        lines.append(rendered)
+    predicted = estimates.get("predicted_seconds")
+    if predicted is not None:
+        lines.append(f"  predicted seconds={predicted:g} (calibrated)")
+    return lines
+
+
 def _print_explain_analyze(report: dict) -> None:
     print("plan:")
     for line in _render_plan(report["plan"], 1):
         print(line)
+    cost_lines = _estimate_vs_actual_lines(report)
+    if cost_lines:
+        print("cost:")
+        for line in cost_lines:
+            print(line)
     print(f"answer: {report['answer']}")
     print(
         f"executions: {report['executions']} in {report['seconds']:.4f}s "
@@ -579,6 +649,197 @@ def _run_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    """Aligned plain-text table (headers + rows, left-justified columns)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    def fmt(row: list[str]) -> str:
+        return "  ".join(v.ljust(widths[i]) for i, v in enumerate(row)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return lines
+
+
+def _run_recent(args: argparse.Namespace) -> int:
+    """The ``recent`` subcommand: query-log records as a table (or JSON).
+
+    With ``--file`` it reads a slow-query JSONL trail
+    (``slow_query_path``); without one it answers a synthetic workload
+    first and renders the engine's own ``recent_queries()`` buffer, so
+    the record shape can be inspected with no files on disk.
+    """
+    import json
+    import time as time_mod
+
+    from repro.exceptions import ReproError
+
+    try:
+        if args.file is not None:
+            records = []
+            with open(args.file) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line:
+                        records.append(json.loads(line))
+        else:
+            from repro.core.engine import AggregationEngine
+            from repro.data import synthetic
+            from repro.sql.parser import parse_query
+
+            target = synthetic.mediated_relation(
+                parse_query(args.query).source.name
+            )
+            source = synthetic.source_relation(args.attributes)
+            table = synthetic.generate_source_table(
+                args.tuples, args.attributes, seed=args.seed, relation=source
+            )
+            pmapping = synthetic.generate_pmapping(
+                source, args.mappings, seed=args.seed, target=target
+            )
+            with AggregationEngine([table], pmapping) as engine:
+                for _ in range(args.repeat):
+                    engine.answer(
+                        args.query,
+                        args.mapping_semantics,
+                        args.aggregate_semantics,
+                    )
+                records = [r.to_dict() for r in engine.recent_queries()]
+        if args.limit is not None:
+            records = records[-args.limit:] if args.limit > 0 else []
+    except (ReproError, OSError, ValueError) as error:
+        return _fail(error)
+    if args.json:
+        print(json.dumps(records, indent=1))
+        return 0
+    if not records:
+        print("no query records")
+        return 0
+
+    def cell(value, spec: str = "") -> str:
+        if value is None:
+            return "-"
+        return format(value, spec) if spec else str(value)
+
+    headers = [
+        "time", "digest", "cell", "lane", "status", "ms", "rows",
+        "est cost", "actual cost",
+    ]
+    rows = []
+    for record in records:
+        rows.append([
+            time_mod.strftime(
+                "%H:%M:%S", time_mod.localtime(record.get("ts", 0))
+            ),
+            cell(record.get("digest")),
+            f"{record.get('mapping_semantics', '?')}/"
+            f"{record.get('aggregate_semantics', '?')}",
+            cell(record.get("lane")),
+            cell(record.get("status")),
+            cell(record.get("seconds", 0) * 1e3, ".3f"),
+            cell(record.get("rows")),
+            cell(record.get("est_cost"), ".4g"),
+            cell(record.get("actual_cost"), ".4g"),
+        ])
+    for line in _render_table(headers, rows):
+        print(line)
+    return 0
+
+
+def _run_feedback(args: argparse.Namespace) -> int:
+    """The ``feedback`` subcommand: inspect or collect plan-feedback
+    calibration.
+
+    ``--file`` alone renders a previously-saved store;  ``--collect``
+    answers a synthetic workload on a ``calibrate=True`` engine first
+    (persisting to ``--file`` when given) and renders what it learned.
+    """
+    import json
+
+    from repro.exceptions import ReproError
+
+    try:
+        if args.collect:
+            from repro.core.engine import AggregationEngine
+            from repro.data import synthetic
+            from repro.sql.parser import parse_query
+
+            target = synthetic.mediated_relation(
+                parse_query(args.query).source.name
+            )
+            source = synthetic.source_relation(args.attributes)
+            table = synthetic.generate_source_table(
+                args.tuples, args.attributes, seed=args.seed, relation=source
+            )
+            pmapping = synthetic.generate_pmapping(
+                source, args.mappings, seed=args.seed, target=target
+            )
+            engine = AggregationEngine(
+                [table],
+                pmapping,
+                calibrate=True,
+                feedback_path=args.file,
+                max_workers=args.max_workers,
+            )
+            with engine:
+                for _ in range(args.repeat):
+                    engine.answer(
+                        args.query,
+                        args.mapping_semantics,
+                        args.aggregate_semantics,
+                    )
+                snapshot = engine.feedback_snapshot()
+            if args.file is not None:
+                print(f"saved feedback to {args.file}", file=sys.stderr)
+        elif args.file is not None:
+            from repro.obs.feedback import PlanFeedback
+
+            store = PlanFeedback()
+            loaded = store.load(args.file)
+            if loaded == 0:
+                print(
+                    f"error: no observations in {args.file}",
+                    file=sys.stderr,
+                )
+                return 2
+            snapshot = store.snapshot()
+        else:
+            print(
+                "error: pass --file to inspect a saved store, or --collect "
+                "to record a fresh workload",
+                file=sys.stderr,
+            )
+            return 2
+    except (ReproError, OSError, ValueError) as error:
+        return _fail(error)
+    if args.json:
+        print(json.dumps(snapshot, indent=1))
+        return 0
+    if not snapshot:
+        print("no feedback observations")
+        return 0
+    headers = ["cell|lane", "obs", "s/row", "s/unit", "fit a", "fit b"]
+    rows = []
+    for key, entry in snapshot.items():
+        fit = entry.get("fit") or {}
+
+        def num(value) -> str:
+            return "-" if value is None else f"{value:.3g}"
+
+        rows.append([
+            key,
+            str(entry["observations"]),
+            num(entry.get("per_row_seconds")),
+            num(entry.get("seconds_per_unit")),
+            num(fit.get("intercept")),
+            num(fit.get("per_row")),
+        ])
+    for line in _render_table(headers, rows):
+        print(line)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     if argv is None:
@@ -776,6 +1037,79 @@ def main(argv: list[str] | None = None) -> int:
         help="TCP port for --serve (default: an ephemeral port, printed "
         "on startup)",
     )
+    recent_parser = subparsers.add_parser(
+        "recent",
+        help="render structured query-log records (a slow-query JSONL "
+        "file, or a fresh synthetic run) as an aligned table or JSON",
+    )
+    recent_parser.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="slow-query JSONL trail to read (engine slow_query_path); "
+        "omit to answer a synthetic workload and show its records",
+    )
+    recent_parser.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show only the last N records",
+    )
+    recent_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the records as JSON instead of the table",
+    )
+    recent_parser.add_argument(
+        "--query", default="SELECT COUNT(*) FROM T",
+        help="synthetic-workload query (without --file)",
+    )
+    recent_parser.add_argument(
+        "--mapping-semantics", "--msem", dest="mapping_semantics",
+        default="by-tuple", choices=["by-table", "by-tuple"],
+    )
+    recent_parser.add_argument(
+        "--aggregate-semantics", "--asem", dest="aggregate_semantics",
+        default="range",
+        choices=["range", "distribution", "expected-value"],
+    )
+    recent_parser.add_argument("--repeat", type=int, default=3, metavar="N")
+    recent_parser.add_argument("--tuples", type=int, default=500)
+    recent_parser.add_argument("--attributes", type=int, default=8)
+    recent_parser.add_argument("--mappings", type=int, default=5)
+    recent_parser.add_argument("--seed", type=int, default=0)
+    feedback_parser = subparsers.add_parser(
+        "feedback",
+        help="inspect (or, with --collect, record) the cost-model "
+        "calibration store",
+    )
+    feedback_parser.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="feedback JSON store to inspect (or to save --collect into)",
+    )
+    feedback_parser.add_argument(
+        "--collect", action="store_true",
+        help="answer a synthetic workload on a calibrate=True engine and "
+        "render what it learned",
+    )
+    feedback_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the calibration snapshot as JSON instead of the table",
+    )
+    feedback_parser.add_argument(
+        "--query", default="SELECT COUNT(*) FROM T",
+        help="synthetic-workload query (with --collect)",
+    )
+    feedback_parser.add_argument(
+        "--mapping-semantics", "--msem", dest="mapping_semantics",
+        default="by-tuple", choices=["by-table", "by-tuple"],
+    )
+    feedback_parser.add_argument(
+        "--aggregate-semantics", "--asem", dest="aggregate_semantics",
+        default="range",
+        choices=["range", "distribution", "expected-value"],
+    )
+    feedback_parser.add_argument("--repeat", type=int, default=5, metavar="N")
+    feedback_parser.add_argument("--tuples", type=int, default=500)
+    feedback_parser.add_argument("--attributes", type=int, default=8)
+    feedback_parser.add_argument("--mappings", type=int, default=5)
+    feedback_parser.add_argument("--seed", type=int, default=0)
+    feedback_parser.add_argument("--max-workers", type=int, default=None)
     match_parser = subparsers.add_parser(
         "match",
         help="match two CSVs automatically and emit a JSON p-mapping",
@@ -808,6 +1142,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_profile(args)
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "recent":
+        return _run_recent(args)
+    if args.command == "feedback":
+        return _run_feedback(args)
     if args.command == "match":
         return _run_match(args)
     if args.command == "table3":

@@ -151,6 +151,18 @@ class AggregationEngine:
         optional slow-query threshold (milliseconds) at or above which a
         record is also appended, one JSON object per line, to
         ``slow_query_path``.
+    calibrate / feedback_path:
+        Opt-in cost-model calibration (:mod:`repro.obs.feedback`):
+        ``calibrate=True`` records each completed execution's actual
+        ``(rows, worlds, cost, seconds)`` in a per-(cell, lane) feedback
+        store, which adapts the cost model's wall-clock predictions and
+        the parallel cutover (unless ``min_rows_per_shard`` was set
+        explicitly — an explicit value stays pinned).  Answers never
+        change, only which bit-identical lane the planner picks.
+        ``feedback_path`` names a JSON file to load calibration from at
+        construction and save to on :meth:`close` (and implies
+        ``calibrate=True``); :meth:`feedback_snapshot` inspects the
+        store.
     """
 
     def __init__(
@@ -179,6 +191,8 @@ class AggregationEngine:
         query_log_capacity: int = 256,
         slow_query_ms: float | None = None,
         slow_query_path: str | None = None,
+        calibrate: bool = False,
+        feedback_path: str | None = None,
     ) -> None:
         if isinstance(tables, Table):
             tables = [tables]
@@ -245,6 +259,8 @@ class AggregationEngine:
             query_log_capacity=query_log_capacity,
             slow_query_ms=slow_query_ms,
             slow_query_path=slow_query_path,
+            calibrate=calibrate,
+            feedback_path=feedback_path,
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -464,6 +480,13 @@ class AggregationEngine:
         execution) and the process-wide metric deltas of the run.  With
         ``repeat > 1`` the deltas make the cache behaviour visible: one
         ``plan.cache.miss`` on a cold engine, ``repeat - 1`` hits after.
+
+        The report also carries the cost-model loop of the last
+        execution: ``estimates`` (the plan-time
+        :class:`~repro.core.cost.PlanEstimate`), ``actuals`` (what the
+        executed lane really did, in the same units), and
+        ``misestimation`` (the ``actual / estimate`` ratios) — the
+        Postgres-style ``est rows=... actual rows=...`` comparison.
         """
         self.context.ensure_open()
         if repeat < 1:
@@ -495,6 +518,12 @@ class AggregationEngine:
         }
         if self.context.last_degradation is not None:
             report["degradation"] = dict(self.context.last_degradation)
+        stats = self.context.last_stats
+        if stats is not None:
+            report["executed_lane"] = stats["executed_lane"]
+            report["estimates"] = stats["estimates"]
+            report["actuals"] = stats["actuals"]
+            report["misestimation"] = stats["misestimation"]
         return report
 
     def profile(
@@ -549,6 +578,23 @@ class AggregationEngine:
     def metrics_snapshot(self) -> dict:
         """The per-engine metric state (see ``docs/observability.md``)."""
         return self.context.metrics.snapshot()
+
+    def feedback_snapshot(self) -> dict:
+        """The plan-feedback store's calibration summary per (cell, lane).
+
+        Empty when the engine was not constructed with ``calibrate=True``
+        or a ``feedback_path``; see
+        :meth:`repro.obs.feedback.PlanFeedback.snapshot` for the shape.
+        """
+        if self.context.feedback is None:
+            return {}
+        return self.context.feedback.snapshot()
+
+    def save_feedback(self) -> None:
+        """Persist the feedback store to the engine's ``feedback_path`` now
+        (also happens automatically on :meth:`close`); a no-op without
+        one."""
+        self.context.save_feedback()
 
     def recent_queries(self, n: int | None = None) -> list["QueryRecord"]:
         """The last ``n`` structured query records, oldest first.

@@ -19,6 +19,7 @@ executions skip per-row predicate evaluation entirely.
 
 from __future__ import annotations
 
+import contextvars
 import math
 import pickle
 import sqlite3
@@ -62,6 +63,8 @@ from repro.exceptions import (
     ReproError,
     UnsupportedQueryError,
 )
+from repro.core import cost as costmod
+from repro.obs import feedback as feedbackmod
 from repro.obs import metrics, querylog, trace
 from repro.testing import faults
 from repro.schema.mapping import SchemaPMapping
@@ -103,6 +106,8 @@ class ExecutionContext:
         query_log_capacity: int = querylog.DEFAULT_CAPACITY,
         slow_query_ms: float | None = None,
         slow_query_path: str | None = None,
+        calibrate: bool = False,
+        feedback_path: str | None = None,
     ) -> None:
         from repro.core.parallel import DEFAULT_MIN_ROWS_PER_SHARD
 
@@ -136,11 +141,29 @@ class ExecutionContext:
         )
         self.cache_size = cache_size
         self.max_workers = max_workers
+        #: An explicitly-configured ``min_rows_per_shard`` pins the
+        #: parallel cutover: calibration only adapts the *default*.
+        self._mrps_pinned = min_rows_per_shard is not None
         self.min_rows_per_shard = (
             DEFAULT_MIN_ROWS_PER_SHARD
             if min_rows_per_shard is None
             else min_rows_per_shard
         )
+        #: The plan-feedback store (``calibrate=True`` or a
+        #: ``feedback_path``); ``None`` keeps the cost model static.
+        self.feedback = (
+            feedbackmod.PlanFeedback()
+            if (calibrate or feedback_path is not None)
+            else None
+        )
+        self.feedback_path = feedback_path
+        if self.feedback is not None and feedback_path is not None:
+            self.feedback.load(feedback_path)
+        #: The context's cost model — calibrated when feedback is on.
+        self.cost_model = costmod.CostModel(self.feedback)
+        #: The estimate/actual/misestimation block of the most recent
+        #: outermost execution, consumed by EXPLAIN ANALYZE.
+        self.last_stats: dict | None = None
         self.parallel_executor = parallel_executor
         self._pool = None
         self.closed = False
@@ -176,12 +199,37 @@ class ExecutionContext:
         cumulative totals).
         """
         self.reset_pool()
+        self.save_feedback()
         if self.backend is not None:
             self.backend.close()
             self.backend = None
             self.closed = True
         self.columnar_cache.clear()
         self.metrics.reset()
+
+    def save_feedback(self) -> None:
+        """Persist the feedback store to ``feedback_path`` (no-op without
+        one).  Persistence failures downgrade to a metric — calibration
+        is advisory and must never fail a shutdown."""
+        if self.feedback is None or self.feedback_path is None:
+            return
+        try:
+            self.feedback.save(self.feedback_path)
+        except OSError:
+            self.metrics.inc("feedback.write_error")
+
+    def effective_min_rows_per_shard(self, cell_key: str) -> int:
+        """The parallel cutover the planner should use for one cell.
+
+        The calibrated break-even when feedback has enough observations
+        and the engine did not pin ``min_rows_per_shard`` explicitly; the
+        static value otherwise.
+        """
+        if self._mrps_pinned or self.feedback is None:
+            return self.min_rows_per_shard
+        return self.cost_model.parallel_cutover(
+            cell_key, self.min_rows_per_shard
+        )
 
     def pool(self):
         """The lazily-created worker pool of the parallel lane."""
@@ -417,6 +465,21 @@ _INFRA_ERRORS = (
     sqlite3.Error,
 )
 
+#: The lane that actually produced the answer, written at the terminal
+#: success points of :func:`_dispatch` into a one-slot cell installed by
+#: the outermost frame.  A plan can end up far from where it started —
+#: parallel can decline to its fallback, a guard breach can degrade —
+#: and only the terminal dispatch knows where execution landed.
+_executed_lane: contextvars.ContextVar[list | None] = contextvars.ContextVar(
+    "repro_executed_lane", default=None
+)
+
+
+def _note_lane(lane: str) -> None:
+    cell = _executed_lane.get()
+    if cell is not None:
+        cell[0] = lane
+
 
 def execute_plan(
     plan: ExecutionPlan,
@@ -448,12 +511,16 @@ def execute_plan(
             plan, samples=samples, seed=seed, max_sequences=max_sequences
         )
     context.last_degradation = None
+    context.last_stats = None
     effective = budget if budget is not None else context.budget
     started_ts = time.time()
     started = time.perf_counter()
     breach: GuardrailError | None = None
     progress: dict | None = None
     caught: BaseException | None = None
+    answered: AggregateAnswer | None = None
+    lane_cell = [plan.lane]
+    lane_token = _executed_lane.set(lane_cell)
     try:
         try:
             with guardmod.guarded(effective) as guard:
@@ -465,6 +532,7 @@ def execute_plan(
                 )
             if guard is not None:
                 progress = guard.progress()
+            answered = answer
             return answer
         except GuardrailError as error:
             breach = error
@@ -472,7 +540,7 @@ def execute_plan(
             context.metrics.inc(f"guard.breach.{plan.lane}")
             if not context.degrade:
                 raise
-            return _degrade(
+            answer = _degrade(
                 plan,
                 error,
                 effective,
@@ -480,6 +548,8 @@ def execute_plan(
                 seed=seed,
                 max_sequences=max_sequences,
             )
+            answered = answer
+            return answer
         except ReproError:
             raise
         except _INFRA_ERRORS as error:
@@ -492,15 +562,113 @@ def execute_plan(
         caught = error
         raise
     finally:
+        _executed_lane.reset(lane_token)
+        seconds = time.perf_counter() - started
+        stats = _finish_stats(
+            plan,
+            executed_lane=lane_cell[0],
+            samples=samples,
+            seconds=seconds,
+            error=caught,
+            progress=progress,
+            answer=answered,
+        )
         _log_query(
             plan,
             ts=started_ts,
-            seconds=time.perf_counter() - started,
+            seconds=seconds,
             samples=samples,
             error=caught,
             breach=breach,
             progress=progress,
+            stats=stats,
         )
+
+
+def _finish_stats(
+    plan: ExecutionPlan,
+    *,
+    executed_lane: str,
+    samples: int | None,
+    seconds: float,
+    error: BaseException | None,
+    progress: dict | None,
+    answer: AggregateAnswer | None,
+) -> dict | None:
+    """Close the estimate/actual loop for one outermost execution.
+
+    Computes the executed lane's actual work in the estimate's units,
+    derives misestimation ratios, publishes them as
+    ``planner.misestimate.*`` histograms and per-lane execution
+    counters, stores the whole block on ``context.last_stats`` (the
+    EXPLAIN ANALYZE source), and — when the engine opted into
+    calibration — records the observation in the feedback store.
+    Returns the stats block, or ``None`` for plans without an estimate
+    (hand-built plans bypass the planner).
+    """
+    context = plan.context
+    estimate = plan.estimate
+    if estimate is None:
+        return None
+    effective_samples = context.samples if samples is None else samples
+    degraded = context.last_degradation
+    if (
+        degraded is not None
+        and degraded.get("to") == Lane.SAMPLING
+        and degraded.get("samples") is not None
+    ):
+        effective_samples = degraded["samples"]
+    support = None
+    if (
+        isinstance(answer, DistributionAnswer)
+        and answer.distribution is not None
+    ):
+        support = float(len(answer.distribution))
+    model = context.cost_model
+    actuals = model.actuals(
+        plan,
+        executed_lane,
+        samples=effective_samples,
+        support=support,
+        progress=progress if error is not None else None,
+    )
+    estimates = estimate.to_dict()
+    ratios = costmod.misestimation(estimates, actuals)
+    registry = context.metrics
+    registry.inc(f"planner.executed.{executed_lane}")
+    if executed_lane != plan.lane:
+        registry.inc("planner.lane_changed")
+    for kind, ratio in ratios.items():
+        registry.observe(f"planner.misestimate.{kind}", ratio)
+    stats = {
+        "executed_lane": executed_lane,
+        "seconds": seconds,
+        "estimates": estimates,
+        "actuals": actuals,
+        "misestimation": ratios,
+    }
+    context.last_stats = stats
+    feedback = context.feedback
+    actual_cost = actuals.get("cost")
+    if (
+        feedback is not None
+        and error is None
+        and isinstance(actual_cost, (int, float))
+        and math.isfinite(actual_cost)
+    ):
+        feedback.record(
+            costmod.cell_key(
+                plan.compiled.query.aggregate.op,
+                plan.mapping_semantics,
+                plan.aggregate_semantics,
+            ),
+            executed_lane,
+            rows=actuals.get("rows") or 0.0,
+            worlds=actuals.get("worlds") or 0.0,
+            cost=actual_cost,
+            seconds=seconds,
+        )
+    return stats
 
 
 def _log_query(
@@ -512,6 +680,7 @@ def _log_query(
     error: BaseException | None,
     breach: GuardrailError | None,
     progress: dict | None,
+    stats: dict | None = None,
 ) -> None:
     """Record one outermost execution in the context's query log.
 
@@ -554,6 +723,13 @@ def _log_query(
         worlds=progress.get("worlds") if progress else None,
         guard=progress,
         epsilon=epsilon,
+        plan_digest=plan.digest,
+        est_cost=(
+            plan.estimate.cost if plan.estimate is not None else None
+        ),
+        actual_cost=(
+            stats["actuals"].get("cost") if stats is not None else None
+        ),
     )
     try:
         context.query_log.record(record)
@@ -596,6 +772,7 @@ def _dispatch(
                 if guard is not None:
                     guard.check_deadline()
                 results.append((context.executor(reformulated), probability))
+            _note_lane(lane)
             return bytable.combine_results(results, plan.aggregate_semantics)
         if lane == Lane.PARALLEL:
             from repro.core import parallel
@@ -603,6 +780,7 @@ def _dispatch(
             answer = parallel.try_parallel(plan)
             if answer is not None:
                 context.metrics.inc("parallel.hit")
+                _note_lane(lane)
                 return answer
             context.metrics.inc("parallel.fallback")
             context.metrics.inc(f"execute.fallback.{lane}")
@@ -616,6 +794,7 @@ def _dispatch(
             answer = _try_vectorized(plan)
             if answer is not None:
                 context.metrics.inc("vectorized.hit")
+                _note_lane(lane)
                 return answer
             context.metrics.inc("vectorized.fallback")
             context.metrics.inc(f"execute.fallback.{lane}")
@@ -629,6 +808,7 @@ def _dispatch(
             answer = _execute_streaming(plan)
             if answer is not None:
                 context.metrics.inc("streaming.hit")
+                _note_lane(lane)
                 return answer
             if plan.fallback is not None:
                 context.metrics.inc(f"execute.fallback.{lane}")
@@ -642,12 +822,19 @@ def _dispatch(
                 "streaming lane cannot answer this plan shape"
             )
         if lane in (Lane.SCALAR, Lane.EXTENSION):
-            return run_prepared(plan.compiled.prepared(), plan.spec.kernel)
+            answer = run_prepared(plan.compiled.prepared(), plan.spec.kernel)
+            _note_lane(lane)
+            return answer
         if lane == Lane.NESTED_RANGE:
-            return _execute_nested_range(plan)
+            answer = _execute_nested_range(plan)
+            # The inner plan's dispatch noted its own lane; the outer
+            # composition is what actually answered.
+            _note_lane(lane)
+            return answer
         if lane == Lane.NESTED_COMPOSE:
             answer = _compose_nested(plan)
             if answer is not None:
+                _note_lane(lane)
                 return answer
             if plan.fallback is not None:
                 context.metrics.inc(f"execute.fallback.{lane}")
@@ -663,7 +850,11 @@ def _dispatch(
                 "allow_sampling=True"
             )
         if lane in (Lane.NAIVE, Lane.SAMPLING):
-            return plan.spec.run(_request(plan, samples, seed, max_sequences))
+            answer = plan.spec.run(
+                _request(plan, samples, seed, max_sequences)
+            )
+            _note_lane(lane)
+            return answer
     raise EvaluationError(f"unknown execution lane {lane!r}")
 
 

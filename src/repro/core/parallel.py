@@ -311,9 +311,16 @@ def try_parallel(plan):
     if cell not in PARALLEL_CELLS:
         return None
     rows = compiled.table.rows
-    shards = shard_count(
-        len(rows), context.max_workers or 0, context.min_rows_per_shard
+    from repro.core import cost
+
+    cutover = context.effective_min_rows_per_shard(
+        cost.cell_key(
+            query.aggregate.op,
+            plan.mapping_semantics,
+            plan.aggregate_semantics,
+        )
     )
+    shards = shard_count(len(rows), context.max_workers or 0, cutover)
     if shards < 2:
         return None
     guard = guardmod.current_guard()

@@ -386,6 +386,7 @@ class ExecutionPlan:
     __slots__ = (
         "compiled", "mapping_semantics", "aggregate_semantics", "lane",
         "complexity", "spec", "fallback", "inner_plan", "context",
+        "estimate", "_digest",
     )
 
     def __init__(
@@ -410,6 +411,34 @@ class ExecutionPlan:
         self.fallback = fallback
         self.inner_plan = inner_plan
         self.context = context
+        #: The planner's :class:`~repro.core.cost.PlanEstimate`, attached
+        #: by :meth:`Planner.plan` once the lane is final (``None`` on
+        #: hand-built plans, e.g. degradation targets).
+        self.estimate = None
+        self._digest: str | None = None
+
+    @property
+    def digest(self) -> str:
+        """Short stable digest of the plan identity (query + cell + lanes).
+
+        Groups query-log records by *plan*: the same query replanned onto
+        a different lane chain (data growth, calibration, policy change)
+        gets a new digest.
+        """
+        if self._digest is None:
+            from repro.obs.querylog import query_digest
+
+            self._digest = query_digest(
+                "|".join(
+                    (
+                        self.compiled.text,
+                        self.mapping_semantics.value,
+                        self.aggregate_semantics.value,
+                        "->".join(self.fallback_chain),
+                    )
+                )
+            )
+        return self._digest
 
     @property
     def fallback_chain(self) -> list[str]:
@@ -442,6 +471,10 @@ class ExecutionPlan:
         spec = self.spec
         return {
             "query": self.compiled.text,
+            "digest": self.digest,
+            "estimate": (
+                self.estimate.to_dict() if self.estimate is not None else None
+            ),
             "cell": {
                 "op": self.compiled.query.aggregate.op.value,
                 "mapping_semantics": self.mapping_semantics.value,
@@ -589,22 +622,33 @@ class Planner:
             op, mapping_semantics, aggregate_semantics
         )
         if mapping_semantics is MappingSemantics.BY_TABLE:
-            return ExecutionPlan(
-                compiled,
-                mapping_semantics,
-                aggregate_semantics,
-                Lane.BY_TABLE,
-                complexity,
-                _by_table_spec(aggregate_semantics),
-                context=context,
+            return self._finalize(
+                ExecutionPlan(
+                    compiled,
+                    mapping_semantics,
+                    aggregate_semantics,
+                    Lane.BY_TABLE,
+                    complexity,
+                    _by_table_spec(aggregate_semantics),
+                    context=context,
+                ),
+                context,
             )
         if compiled.is_nested:
-            return self._plan_nested(
-                compiled, aggregate_semantics, complexity, context
+            return self._finalize(
+                self._plan_nested(
+                    compiled, aggregate_semantics, complexity, context
+                ),
+                context,
             )
         spec = self.algorithm_for(
             op, mapping_semantics, aggregate_semantics
         )
+        preempted = None
+        if spec.lane == Lane.NAIVE:
+            preempted = self._preempt_naive(compiled, context)
+            if preempted is not None:
+                spec = _sampling_spec(aggregate_semantics)
         chosen = ExecutionPlan(
             compiled,
             mapping_semantics,
@@ -636,20 +680,91 @@ class Planner:
             and getattr(context, "max_workers", None)
             and compiled.query.group_by is None
         ):
-            from repro.core import parallel
+            from repro.core import cost, parallel
 
             if (op, aggregate_semantics) in parallel.PARALLEL_CELLS:
-                chosen = ExecutionPlan(
-                    compiled,
-                    mapping_semantics,
-                    aggregate_semantics,
-                    Lane.PARALLEL,
-                    complexity,
-                    spec,
-                    fallback=chosen,
-                    context=context,
+                model = getattr(context, "cost_model", None)
+                if model is None:
+                    model = cost.DEFAULT_COST_MODEL
+                key = cost.cell_key(
+                    op, mapping_semantics, aggregate_semantics
                 )
-        return chosen
+                if model.parallel_beats_sequential(
+                    rows=len(compiled.table),
+                    mappings=len(compiled.pmapping),
+                    op=op,
+                    aggregate_semantics=aggregate_semantics,
+                    samples=getattr(context, "samples", 2000),
+                    max_workers=context.max_workers,
+                    cutover_rows=context.effective_min_rows_per_shard(key),
+                ):
+                    chosen = ExecutionPlan(
+                        compiled,
+                        mapping_semantics,
+                        aggregate_semantics,
+                        Lane.PARALLEL,
+                        complexity,
+                        spec,
+                        fallback=chosen,
+                        context=context,
+                    )
+        return self._finalize(chosen, context, preempted=preempted)
+
+    def _preempt_naive(self, compiled, context) -> dict | None:
+        """Swap naive enumeration for sampling when the world budget
+        already rules it out.
+
+        Fires only when (a) the planner's policy also allows sampling —
+        a caller who asked for exponential-or-nothing still gets the
+        runtime breach they are testing for — (b) the active budget caps
+        worlds, (c) the estimated world count exceeds that cap, and
+        (d) the sampling lane's own draw count fits the cap (otherwise
+        the swap would just move the breach).  Deadlines never preempt:
+        a time budget is a measurement, not an estimate.
+        """
+        if context is None or not self.allow_sampling:
+            return None
+        budget = getattr(context, "budget", None)
+        max_worlds = getattr(budget, "max_worlds", None)
+        if not max_worlds:
+            return None
+        samples = getattr(context, "samples", 2000)
+        if samples > max_worlds:
+            return None
+        from repro.core import cost
+
+        worlds = cost.naive_worlds(
+            len(compiled.table), len(compiled.pmapping)
+        )
+        if worlds <= max_worlds:
+            return None
+        return {
+            "from": Lane.NAIVE,
+            "to": Lane.SAMPLING,
+            "resource": "worlds",
+            "estimated_worlds": worlds if worlds != float("inf") else None,
+            "limit": max_worlds,
+        }
+
+    def _finalize(
+        self, plan: ExecutionPlan, context, *, preempted: dict | None = None
+    ) -> ExecutionPlan:
+        """Attach the cost estimate and count the lane decision."""
+        from repro.core import cost
+
+        model = getattr(context, "cost_model", None)
+        if model is None:
+            model = cost.DEFAULT_COST_MODEL
+        estimate = model.estimate_plan(plan, context)
+        estimate.preempted = preempted
+        plan.estimate = estimate
+        if context is not None:
+            registry = getattr(context, "metrics", None)
+            if registry is not None:
+                registry.inc(f"planner.decision.{plan.lane}")
+                if preempted is not None:
+                    registry.inc("planner.preempted_breach")
+        return plan
 
     def _plan_nested(
         self,

@@ -84,6 +84,34 @@ class UnsupportedQueryError(ReproError):
     """The query shape is outside the supported aggregate-SQL subset."""
 
 
+class ObservabilityError(ReproError):
+    """A failure in the observability tooling (export, serving, query log).
+
+    Never raised from the answer pipeline itself — telemetry must not
+    fail queries — only from the explicitly-requested tooling around it
+    (e.g. standing up a scrape endpoint).
+    """
+
+
+class MetricsExportError(ObservabilityError):
+    """The Prometheus scrape endpoint could not be stood up.
+
+    Typically the requested ``host:port`` is already in use or not
+    bindable; ``host``/``port`` carry the attempted address.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.host = host
+        self.port = port
+
+
 def _rebuild_guardrail_error(cls, args, state):
     error = cls(*args)
     error.__dict__.update(state)

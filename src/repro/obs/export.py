@@ -27,6 +27,7 @@ import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.exceptions import MetricsExportError
 from repro.obs import metrics as metrics_mod
 
 #: Prefix applied to every exported metric name.
@@ -128,6 +129,14 @@ class MetricsServer:
     :attr:`port` — tests and the CLI print it); :meth:`start` serves from
     a daemon thread, :meth:`stop` shuts down and joins.  Usable as a
     context manager.
+
+    Raises
+    ------
+    MetricsExportError
+        When the requested address cannot be bound (port already in use,
+        privileged port, unresolvable host) — the typed form of the
+        underlying :class:`OSError`, so ``repro-bench stats --serve``
+        reports one clean line instead of a traceback.
     """
 
     def __init__(
@@ -137,7 +146,14 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
-        self._server = ThreadingHTTPServer((host, port), _ScrapeHandler)
+        try:
+            self._server = ThreadingHTTPServer((host, port), _ScrapeHandler)
+        except OSError as error:
+            raise MetricsExportError(
+                f"cannot bind metrics endpoint on {host}:{port}: {error}",
+                host=host,
+                port=port,
+            ) from error
         self._server.registry = (
             registry if registry is not None else metrics_mod.get_registry()
         )

@@ -88,6 +88,16 @@ class QueryRecord:
     epsilon:
         The DKW accuracy contract when a sampling estimator produced the
         answer (directly planned or degraded-to), else ``None``.
+    plan_digest:
+        Short digest of the plan identity (query text + cell + lane
+        chain), so log consumers can group records by *plan*, not just by
+        query — a replanned query gets a new digest.
+    est_cost / actual_cost:
+        The planner's estimated cost units for the chosen lane, and the
+        cost recomputed from what actually ran (``None`` when the run
+        aborted before completing).  Their ratio is the per-query
+        misestimation the ``planner.misestimate.cost`` histogram
+        aggregates.
     """
 
     __slots__ = (
@@ -106,6 +116,9 @@ class QueryRecord:
         "worlds",
         "guard",
         "epsilon",
+        "plan_digest",
+        "est_cost",
+        "actual_cost",
     )
 
     def __init__(
@@ -125,6 +138,9 @@ class QueryRecord:
         worlds: int | None = None,
         guard: dict | None = None,
         epsilon: float | None = None,
+        plan_digest: str | None = None,
+        est_cost: float | None = None,
+        actual_cost: float | None = None,
     ) -> None:
         self.ts = ts
         self.query = query
@@ -141,6 +157,9 @@ class QueryRecord:
         self.worlds = worlds
         self.guard = guard
         self.epsilon = epsilon
+        self.plan_digest = plan_digest
+        self.est_cost = est_cost
+        self.actual_cost = actual_cost
 
     def to_dict(self) -> dict:
         """A JSON-ready form (the JSONL slow-log line shape)."""
@@ -160,6 +179,9 @@ class QueryRecord:
             "worlds": self.worlds,
             "guard": self.guard,
             "epsilon": self.epsilon,
+            "plan_digest": self.plan_digest,
+            "est_cost": self.est_cost,
+            "actual_cost": self.actual_cost,
         }
 
     def __repr__(self) -> str:

@@ -61,3 +61,120 @@ class TestCli:
 
         monkeypatch.setattr(experiments, "figure8", lambda **kwargs: False)
         assert main(["fig8"]) == 1
+
+
+class TestRecentCommand:
+    def test_recent_renders_table(self, capsys):
+        assert main([
+            "recent", "--tuples", "50", "--attributes", "4",
+            "--mappings", "3", "--repeat", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].split() == [
+            "time", "digest", "cell", "lane", "status", "ms", "rows",
+            "est", "cost", "actual", "cost",
+        ]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4  # header, separator, two records
+        assert "by-tuple/range" in out
+        assert " ok" in out
+
+    def test_recent_json(self, capsys):
+        import json
+
+        assert main([
+            "recent", "--tuples", "50", "--attributes", "4",
+            "--mappings", "3", "--repeat", "1", "--json",
+        ]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        record = records[0]
+        assert record["status"] == "ok"
+        assert record["lane"] == "scalar"
+        assert record["plan_digest"]
+        assert record["est_cost"] > 0
+        assert record["actual_cost"] > 0
+
+    def test_recent_from_jsonl_file(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "slow.jsonl"
+        rows = [
+            {"ts": 0, "digest": f"d{i}", "mapping_semantics": "by-tuple",
+             "aggregate_semantics": "range", "lane": "scalar",
+             "status": "ok", "seconds": 0.001 * i, "rows": 10 * i}
+            for i in range(5)
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        assert main([
+            "recent", "--file", str(path), "--limit", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "d4" in out and "d3" in out
+        assert "d2" not in out  # --limit keeps the newest records
+
+    def test_recent_missing_file_fails(self, capsys, tmp_path):
+        assert main([
+            "recent", "--file", str(tmp_path / "nope.jsonl"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFeedbackCommand:
+    def test_collect_and_inspect_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "feedback.json"
+        assert main([
+            "feedback", "--collect", "--file", str(path),
+            "--tuples", "50", "--attributes", "4", "--mappings", "3",
+            "--repeat", "3",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "COUNT.by-tuple.range|scalar" in captured.out
+        assert f"saved feedback to {path}" in captured.err
+        # Inspect the saved store without collecting again.
+        assert main(["feedback", "--file", str(path)]) == 0
+        assert "COUNT.by-tuple.range|scalar" in capsys.readouterr().out
+
+    def test_collect_json_snapshot(self, capsys):
+        import json
+
+        assert main([
+            "feedback", "--collect", "--json", "--tuples", "50",
+            "--attributes", "4", "--mappings", "3", "--repeat", "3",
+        ]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        entry = snapshot["COUNT.by-tuple.range|scalar"]
+        assert entry["observations"] == 3
+        assert "seconds_per_unit" in entry
+
+    def test_requires_file_or_collect(self, capsys):
+        assert main(["feedback"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_store_fails(self, capsys, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text('{"version": 1, "observations": {}}\n')
+        assert main(["feedback", "--file", str(path)]) == 2
+        assert "no observations" in capsys.readouterr().err
+
+
+class TestStatsServeExitCode:
+    def test_bind_failure_exits_14(self, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            code = main([
+                "stats", "--serve", "--port", str(port),
+                "--tuples", "20", "--attributes", "4", "--mappings", "3",
+            ])
+        finally:
+            blocker.close()
+        assert code == 14
+        err = capsys.readouterr().err
+        assert "cannot bind metrics endpoint" in err
+        assert err.count("\n") == 1  # one clean line, no traceback

@@ -1,0 +1,542 @@
+"""Cost-model telemetry: estimates, actuals, preemption, calibration.
+
+Covers the plan-time :class:`~repro.core.cost.CostModel`, the
+estimate/actual loop the outermost execution frame closes, the planner's
+budget preemption, the :class:`~repro.obs.feedback.PlanFeedback` store,
+and the headline property of calibration: it can change *which* lane the
+planner picks (the feedback-tuned parallel cutover differs from the
+static default) while the answer stays bit-identical to the sequential
+reference.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import AggregationEngine
+from repro.core import cost
+from repro.core.cost import (
+    NEVER_PARALLEL,
+    CostModel,
+    cell_key,
+    misestimation,
+    naive_worlds,
+)
+from repro.core.planner import Lane
+from repro.core.semantics import AggregateSemantics, MappingSemantics
+from repro.data import realestate, synthetic
+from repro.obs.feedback import PlanFeedback
+from repro.sql.ast import AggregateOp
+
+
+def small_engine(**kwargs) -> AggregationEngine:
+    return AggregationEngine(
+        [realestate.paper_instance()], realestate.paper_pmapping(), **kwargs
+    )
+
+
+def synthetic_engine(
+    num_tuples: int = 16, num_mappings: int = 3, **kwargs
+) -> AggregationEngine:
+    table = synthetic.generate_source_table(num_tuples, num_mappings, seed=7)
+    pmapping = synthetic.generate_pmapping(
+        table.relation, num_mappings, seed=7
+    )
+    return AggregationEngine([table], pmapping, **kwargs)
+
+
+SUM_QUERY = "SELECT SUM(value) FROM MED"
+COUNT_QUERY = "SELECT COUNT(*) FROM MED"
+
+
+class TestLaneEstimates:
+    def setup_method(self):
+        self.model = CostModel()
+
+    def estimate(self, lane, *, rows=100, mappings=3, op=AggregateOp.SUM,
+                 asem=AggregateSemantics.RANGE, samples=500, **kwargs):
+        return self.model.lane_estimate(
+            lane, rows=rows, mappings=mappings, op=op,
+            aggregate_semantics=asem, samples=samples, **kwargs,
+        )
+
+    def test_by_table_scans_once_per_mapping(self):
+        est = self.estimate(Lane.BY_TABLE, rows=100, mappings=3)
+        assert est.rows == 300
+        assert est.worlds == 3
+        assert est.cost == pytest.approx(cost.UNIT_COST[Lane.BY_TABLE] * 300)
+
+    def test_naive_scans_once_per_world(self):
+        est = self.estimate(Lane.NAIVE, rows=4, mappings=2)
+        assert est.worlds == 16
+        assert est.rows == 64
+
+    def test_naive_worlds_overflow_to_inf(self):
+        assert naive_worlds(4, 2) == 16
+        assert naive_worlds(1000, 3) == math.inf
+        est = self.estimate(Lane.NAIVE, rows=1000, mappings=3)
+        assert est.worlds == math.inf
+        assert est.cost == math.inf
+
+    def test_sampling_scans_once_per_draw(self):
+        est = self.estimate(Lane.SAMPLING, samples=500, rows=100)
+        assert est.worlds == 500
+        assert est.rows == 100 * 500
+
+    def test_sequential_lanes_scan_once(self):
+        for lane in (Lane.SCALAR, Lane.VECTORIZED, Lane.STREAMING):
+            est = self.estimate(lane, rows=100)
+            assert est.rows == 100
+            assert est.worlds == 0
+
+    def test_count_distribution_support_and_dp_cost(self):
+        est = self.estimate(
+            Lane.SCALAR, rows=100, op=AggregateOp.COUNT,
+            asem=AggregateSemantics.DISTRIBUTION,
+        )
+        assert est.support == 101
+        # Linear fold plus the quadratic DP term.
+        expected = cost.UNIT_COST[Lane.SCALAR] * 100 * 3
+        expected += cost.DP_UNIT * 100 * 101
+        assert est.cost == pytest.approx(expected)
+
+    def test_range_and_expected_value_supports(self):
+        assert self.estimate(Lane.SCALAR).support == 2
+        assert self.estimate(
+            Lane.SCALAR, asem=AggregateSemantics.EXPECTED_VALUE
+        ).support == 1
+
+    def test_vectorized_cheaper_than_scalar(self):
+        scalar = self.estimate(Lane.SCALAR)
+        vectorized = self.estimate(Lane.VECTORIZED)
+        assert vectorized.cost < scalar.cost
+
+
+class TestParallelDecision:
+    """The cost comparison must reproduce the cutover contract exactly."""
+
+    @pytest.mark.parametrize("cutover", [1, 4, 100, 4096])
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_reduces_to_threshold_rule(self, cutover, workers):
+        model = CostModel()
+        for rows in (
+            1, cutover - 1, cutover, cutover + 1, 2 * cutover,
+            3 * cutover + 1, 10 * cutover,
+        ):
+            if rows < 1:
+                continue
+            decided = model.parallel_beats_sequential(
+                rows=rows,
+                mappings=3,
+                op=AggregateOp.SUM,
+                aggregate_semantics=AggregateSemantics.RANGE,
+                samples=500,
+                max_workers=workers,
+                cutover_rows=cutover,
+            )
+            assert decided == (rows > cutover), (rows, cutover, workers)
+
+    def test_no_workers_never_parallel(self):
+        model = CostModel()
+        assert not model.parallel_beats_sequential(
+            rows=10_000, mappings=3, op=AggregateOp.SUM,
+            aggregate_semantics=AggregateSemantics.RANGE, samples=500,
+            max_workers=0, cutover_rows=64,
+        )
+
+
+class TestMisestimation:
+    def test_ratios(self):
+        ratios = misestimation(
+            {"rows": 100.0, "cost": 50.0, "worlds": 0.0, "support": 2.0},
+            {"rows": 80.0, "cost": 25.0, "worlds": 0.0, "support": 2.0},
+        )
+        assert ratios == {
+            "rows": pytest.approx(0.8),
+            "cost": pytest.approx(0.5),
+            "support": pytest.approx(1.0),
+        }
+
+    def test_non_finite_and_missing_dimensions_are_dropped(self):
+        ratios = misestimation(
+            {"rows": math.inf, "cost": 10.0, "worlds": 5.0},
+            {"rows": 100.0, "cost": None, "worlds": math.nan},
+        )
+        assert ratios == {}
+
+
+class TestPlanEstimateOnPlans:
+    def test_plan_carries_estimate_and_digest(self):
+        engine = small_engine()
+        plan = engine.plan(
+            "SELECT SUM(listPrice) FROM T1 WHERE date < '2008-1-20'",
+            "by-tuple", "range",
+        )
+        estimate = plan.estimate
+        assert estimate is not None
+        assert estimate.lane == Lane.SCALAR
+        assert estimate.rows == 4
+        assert estimate.cost > 0
+        d = plan.to_dict()
+        assert d["estimate"]["rows"] == 4
+        assert d["estimate"]["candidates"][Lane.SCALAR]["cost"] > 0
+        assert isinstance(d["digest"], str) and len(d["digest"]) == 12
+        # The digest is stable across replans of the same cell.
+        engine.invalidate()
+        assert engine.plan(
+            "SELECT SUM(listPrice) FROM T1 WHERE date < '2008-1-20'",
+            "by-tuple", "range",
+        ).digest == d["digest"]
+
+    def test_estimate_covers_fallback_and_degradation_chains(self):
+        engine = synthetic_engine(
+            64, 3, max_workers=2, min_rows_per_shard=4,
+            parallel_executor="thread",
+        )
+        plan = engine.plan(SUM_QUERY, "by-tuple", "range")
+        assert plan.lane == Lane.PARALLEL
+        candidates = plan.estimate.candidates
+        for lane in (Lane.PARALLEL, Lane.SCALAR, Lane.STREAMING):
+            assert lane in candidates
+        assert plan.estimate.cutover_rows == 4
+
+    def test_decision_counters(self):
+        engine = small_engine()
+        engine.answer(
+            "SELECT SUM(listPrice) FROM T1", "by-tuple", "range"
+        )
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["planner.decision.scalar"] == 1
+        assert snapshot["planner.executed.scalar"] == 1
+
+
+class TestEstimateActualLoop:
+    def test_explain_analyze_reports_estimates_and_actuals(self):
+        engine = small_engine()
+        report = engine.explain_analyze(
+            "SELECT SUM(listPrice) FROM T1 WHERE date < '2008-1-20'",
+            "by-tuple", "range",
+        )
+        assert report["executed_lane"] == Lane.SCALAR
+        assert report["estimates"]["rows"] == 4
+        assert report["actuals"]["rows"] == 4
+        assert report["misestimation"]["rows"] == pytest.approx(1.0)
+        assert report["misestimation"]["cost"] > 0
+
+    def test_misestimate_histograms_and_query_record(self):
+        engine = small_engine(allow_sampling=True)
+        engine.answer(
+            "SELECT SUM(listPrice) FROM T1", "by-tuple", "distribution",
+            samples=100, seed=3,
+        )
+        snapshot = engine.metrics_snapshot()
+        assert snapshot["planner.misestimate.rows"]["count"] == 1
+        record = engine.recent_queries()[-1]
+        assert record.plan_digest is not None
+        assert record.est_cost > 0
+        assert record.actual_cost > 0
+
+    def test_sampling_actual_support_observed(self):
+        # The COUNT distribution has at most n + 1 support values; the
+        # estimate says n + 1, the actual reports what the answer holds.
+        engine = small_engine()
+        report = engine.explain_analyze(
+            "SELECT COUNT(*) FROM T1 WHERE date < '2008-1-20'",
+            "by-tuple", "distribution",
+        )
+        assert report["estimates"]["support"] == 5
+        assert 1 <= report["actuals"]["support"] <= 5
+
+    def test_lane_change_counted_on_runtime_decline(self):
+        # Plan while calibration says parallel pays off, then let newer
+        # observations evict that belief: the cached parallel plan
+        # declines at run time (the recomputed cutover says never), the
+        # scalar fallback answers, and the loop records the lane change.
+        engine = synthetic_engine(
+            3000, 3, max_workers=2, parallel_executor="thread",
+            calibrate=True,
+        )
+        feedback = engine.context.feedback
+        key = cell_key(
+            AggregateOp.SUM, MappingSemantics.BY_TUPLE,
+            AggregateSemantics.RANGE,
+        )
+        for rows in (1000, 2000, 4000):
+            feedback.record(
+                key, Lane.PARALLEL, rows=rows, worlds=0, cost=rows,
+                seconds=0.001 + 1e-6 * rows,
+            )
+            feedback.record(
+                key, Lane.SCALAR, rows=rows, worlds=0, cost=rows,
+                seconds=1e-5 * rows,
+            )
+        plan = engine.plan(SUM_QUERY, "by-tuple", "range")
+        assert plan.lane == Lane.PARALLEL
+        # Evict the cheap-parallel observations with expensive ones.
+        for i in range(feedback.capacity):
+            rows = 1000 + (i % 3) * 1000
+            feedback.record(
+                key, Lane.PARALLEL, rows=rows, worlds=0, cost=rows,
+                seconds=2e-5 * rows,
+            )
+        assert engine.context.effective_min_rows_per_shard(
+            key
+        ) == cost.NEVER_PARALLEL
+        engine.answer(SUM_QUERY, "by-tuple", "range")
+        snapshot = engine.metrics_snapshot()
+        assert snapshot.get("planner.lane_changed", 0) >= 1
+        assert engine.context.last_stats["executed_lane"] != Lane.PARALLEL
+
+    def test_aborted_run_reports_partial_actuals(self):
+        engine = synthetic_engine(64, 3, max_rows=10)
+        with pytest.raises(Exception):
+            engine.answer(SUM_QUERY, "by-tuple", "range")
+        stats = engine.context.last_stats
+        assert stats is not None
+        assert stats["actuals"]["cost"] is None
+        # No cost ratio for an aborted run — every reported ratio finite.
+        assert all(
+            math.isfinite(v) for v in stats["misestimation"].values()
+        )
+
+
+class TestPreemption:
+    def test_naive_preempted_to_sampling_under_world_budget(self):
+        engine = small_engine(
+            allow_exponential=True, allow_sampling=True, max_worlds=10,
+            samples=8,
+        )
+        query = "SELECT SUM(listPrice) FROM T1"
+        plan = engine.plan(query, "by-tuple", "distribution")
+        assert plan.lane == Lane.SAMPLING
+        preempted = plan.estimate.preempted
+        assert preempted is not None
+        assert preempted["from"] == Lane.NAIVE
+        assert preempted["to"] == Lane.SAMPLING
+        assert preempted["limit"] == 10
+        assert engine.metrics_snapshot()["planner.preempted_breach"] == 1
+        # The preempted plan still answers (within the worlds budget).
+        answer = engine.answer(query, "by-tuple", "distribution")
+        assert answer is not None
+
+    def test_no_preemption_without_sampling_policy(self):
+        # A caller who asked for exponential-or-nothing keeps the
+        # runtime breach (tested in test_guard); the planner must not
+        # silently switch them to an estimator.
+        engine = small_engine(allow_exponential=True, max_worlds=2)
+        plan = engine.plan(
+            "SELECT SUM(listPrice) FROM T1", "by-tuple", "distribution"
+        )
+        assert plan.lane == Lane.NAIVE
+        assert plan.estimate.preempted is None
+
+    def test_no_preemption_when_sampling_would_breach_too(self):
+        engine = small_engine(
+            allow_exponential=True, allow_sampling=True, max_worlds=10,
+            samples=50,
+        )
+        plan = engine.plan(
+            "SELECT SUM(listPrice) FROM T1", "by-tuple", "distribution"
+        )
+        assert plan.lane == Lane.NAIVE
+        assert plan.estimate.preempted is None
+
+    def test_no_preemption_when_worlds_fit(self):
+        engine = small_engine(
+            allow_exponential=True, allow_sampling=True, max_worlds=100,
+            samples=8,
+        )
+        plan = engine.plan(
+            "SELECT SUM(listPrice) FROM T1", "by-tuple", "distribution"
+        )
+        assert plan.lane == Lane.NAIVE  # 16 worlds fit in 100
+        assert plan.estimate.preempted is None
+
+
+class TestPlanFeedback:
+    def test_record_and_bounded_eviction(self):
+        store = PlanFeedback(capacity=3)
+        for i in range(5):
+            store.record("c", "scalar", rows=i, worlds=0, cost=i, seconds=i)
+        observations = store.observations("c", "scalar")
+        assert len(observations) == 3
+        assert [o[0] for o in observations] == [2.0, 3.0, 4.0]
+        assert len(store) == 3
+
+    def test_rejects_bad_seconds(self):
+        store = PlanFeedback()
+        store.record("c", "scalar", rows=1, worlds=0, cost=1, seconds=-1)
+        store.record(
+            "c", "scalar", rows=1, worlds=0, cost=1, seconds=math.nan
+        )
+        assert store.count("c", "scalar") == 0
+
+    def test_per_row_and_per_unit_need_min_observations(self):
+        store = PlanFeedback()
+        store.record("c", "scalar", rows=10, worlds=0, cost=20, seconds=1.0)
+        store.record("c", "scalar", rows=10, worlds=0, cost=20, seconds=1.0)
+        assert store.per_row_seconds("c", "scalar") is None
+        store.record("c", "scalar", rows=10, worlds=0, cost=20, seconds=3.0)
+        assert store.per_row_seconds("c", "scalar") == pytest.approx(0.1)
+        assert store.seconds_per_unit("c", "scalar") == pytest.approx(0.05)
+
+    def test_linear_fit_recovers_overhead_and_slope(self):
+        store = PlanFeedback()
+        for rows in (100, 200, 400):
+            store.record(
+                "c", "parallel", rows=rows, worlds=0, cost=rows,
+                seconds=0.01 + 2e-5 * rows,
+            )
+        intercept, slope = store.linear_fit("c", "parallel")
+        assert intercept == pytest.approx(0.01, rel=1e-6)
+        assert slope == pytest.approx(2e-5, rel=1e-6)
+
+    def test_fit_needs_distinct_row_counts(self):
+        store = PlanFeedback()
+        for _ in range(4):
+            store.record(
+                "c", "parallel", rows=100, worlds=0, cost=100, seconds=0.1
+            )
+        assert store.linear_fit("c", "parallel") is None
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = PlanFeedback()
+        for rows in (10, 20, 30):
+            store.record(
+                "c", "scalar", rows=rows, worlds=0, cost=rows,
+                seconds=rows * 1e-4,
+            )
+        path = tmp_path / "feedback.json"
+        store.save(path)
+        loaded = PlanFeedback()
+        assert loaded.load(path) == 3
+        assert loaded.observations("c", "scalar") == store.observations(
+            "c", "scalar"
+        )
+        assert PlanFeedback().load(tmp_path / "missing.json") == 0
+
+    def test_snapshot_shape(self):
+        store = PlanFeedback()
+        for rows in (10, 20, 30):
+            store.record(
+                "c", "scalar", rows=rows, worlds=0, cost=rows,
+                seconds=rows * 1e-4,
+            )
+        snapshot = store.snapshot()
+        entry = snapshot["c|scalar"]
+        assert entry["observations"] == 3
+        assert entry["per_row_seconds"] == pytest.approx(1e-4)
+        assert "fit" in entry
+
+
+class TestCalibratedCutover:
+    KEY = cell_key(
+        AggregateOp.SUM, MappingSemantics.BY_TUPLE, AggregateSemantics.RANGE
+    )
+
+    def prime(self, feedback, *, parallel_overhead=0.001,
+              parallel_per_row=1e-6, scalar_per_row=1e-5):
+        for rows in (1000, 2000, 4000):
+            feedback.record(
+                self.KEY, Lane.PARALLEL, rows=rows, worlds=0, cost=rows,
+                seconds=parallel_overhead + parallel_per_row * rows,
+            )
+            feedback.record(
+                self.KEY, Lane.SCALAR, rows=rows, worlds=0, cost=rows,
+                seconds=scalar_per_row * rows,
+            )
+
+    def test_cutover_moves_to_measured_break_even(self):
+        feedback = PlanFeedback()
+        self.prime(feedback)
+        model = CostModel(feedback)
+        # break-even = 0.001 / (1e-5 - 1e-6) ~ 111.1 -> engage at >= 112.
+        assert model.parallel_cutover(self.KEY, 4096) == 111
+
+    def test_cutover_never_when_parallel_loses(self):
+        feedback = PlanFeedback()
+        self.prime(feedback, parallel_per_row=2e-5, scalar_per_row=1e-5)
+        model = CostModel(feedback)
+        assert model.parallel_cutover(self.KEY, 4096) == NEVER_PARALLEL
+
+    def test_static_default_without_enough_data(self):
+        model = CostModel(PlanFeedback())
+        assert model.parallel_cutover(self.KEY, 4096) == 4096
+
+    def test_calibration_changes_lane_answer_identical(self):
+        """The acceptance-criterion test: feedback flips the lane
+        decision away from the static default while the answer stays
+        bit-identical to the sequential reference."""
+        # Static default (4096): 3000 rows stay sequential.
+        reference_engine = synthetic_engine(3000, 3)
+        static_engine = synthetic_engine(
+            3000, 3, max_workers=2, parallel_executor="thread"
+        )
+        calibrated = synthetic_engine(
+            3000, 3, max_workers=2, parallel_executor="thread",
+            calibrate=True,
+        )
+        assert static_engine.plan(
+            SUM_QUERY, "by-tuple", "range"
+        ).lane != Lane.PARALLEL
+        self.prime(calibrated.context.feedback)
+        assert calibrated.context.effective_min_rows_per_shard(
+            self.KEY
+        ) == 111
+        plan = calibrated.plan(SUM_QUERY, "by-tuple", "range")
+        assert plan.lane == Lane.PARALLEL
+        assert plan.estimate.cutover_rows == 111
+        assert plan.estimate.predicted_seconds is not None
+        answer = calibrated.answer(SUM_QUERY, "by-tuple", "range")
+        reference = reference_engine.answer(SUM_QUERY, "by-tuple", "range")
+        assert answer == reference
+
+    def test_explicit_min_rows_per_shard_stays_pinned(self):
+        engine = synthetic_engine(
+            3000, 3, max_workers=2, parallel_executor="thread",
+            calibrate=True, min_rows_per_shard=4096,
+        )
+        self.prime(engine.context.feedback)
+        assert engine.context.effective_min_rows_per_shard(self.KEY) == 4096
+        assert engine.plan(
+            SUM_QUERY, "by-tuple", "range"
+        ).lane != Lane.PARALLEL
+
+
+class TestEngineCalibration:
+    def test_calibrate_records_observations(self):
+        engine = synthetic_engine(64, 3, calibrate=True)
+        for _ in range(3):
+            engine.answer(SUM_QUERY, "by-tuple", "range")
+        snapshot = engine.feedback_snapshot()
+        key = f"{TestCalibratedCutover.KEY}|scalar"
+        assert snapshot[key]["observations"] == 3
+        assert "seconds_per_unit" in snapshot[key]
+
+    def test_snapshot_empty_without_calibration(self):
+        engine = synthetic_engine(16, 3)
+        engine.answer(SUM_QUERY, "by-tuple", "range")
+        assert engine.feedback_snapshot() == {}
+        assert engine.context.feedback is None
+
+    def test_feedback_path_round_trip(self, tmp_path):
+        path = str(tmp_path / "feedback.json")
+        first = synthetic_engine(64, 3, feedback_path=path)
+        for _ in range(3):
+            first.answer(SUM_QUERY, "by-tuple", "range")
+        first.close()
+        document = json.loads((tmp_path / "feedback.json").read_text())
+        assert document["version"] == 1
+        # A fresh engine resumes from the persisted calibration.
+        second = synthetic_engine(64, 3, feedback_path=path)
+        key = f"{TestCalibratedCutover.KEY}|scalar"
+        assert second.feedback_snapshot()[key]["observations"] == 3
+
+    def test_failed_runs_not_recorded(self):
+        engine = synthetic_engine(64, 3, calibrate=True, max_rows=10)
+        with pytest.raises(Exception):
+            engine.answer(SUM_QUERY, "by-tuple", "range")
+        assert len(engine.context.feedback) == 0

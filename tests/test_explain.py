@@ -305,6 +305,7 @@ GOLDEN_EXPLAIN = {
         "  lane: scalar\n"
         "  complexity: PTIME\n"
         "  fallback chain: scalar\n"
+        "  estimate: rows=30 worlds=0 support=2 cost=60\n"
         "  paper: Figure 2\n"
     ),
     AggregateOp.SUM: (
@@ -313,6 +314,7 @@ GOLDEN_EXPLAIN = {
         "  lane: scalar\n"
         "  complexity: PTIME\n"
         "  fallback chain: scalar\n"
+        "  estimate: rows=30 worlds=0 support=2 cost=60\n"
         "  paper: Figure 4\n"
     ),
     AggregateOp.AVG: (
@@ -321,6 +323,7 @@ GOLDEN_EXPLAIN = {
         "  lane: scalar\n"
         "  complexity: PTIME\n"
         "  fallback chain: scalar\n"
+        "  estimate: rows=30 worlds=0 support=2 cost=60\n"
         "  paper: Section IV-B\n"
     ),
     AggregateOp.MIN: (
@@ -329,6 +332,7 @@ GOLDEN_EXPLAIN = {
         "  lane: scalar\n"
         "  complexity: PTIME\n"
         "  fallback chain: scalar\n"
+        "  estimate: rows=30 worlds=0 support=2 cost=60\n"
         "  paper: Section IV-B\n"
     ),
     AggregateOp.MAX: (
@@ -337,6 +341,7 @@ GOLDEN_EXPLAIN = {
         "  lane: scalar\n"
         "  complexity: PTIME\n"
         "  fallback chain: scalar\n"
+        "  estimate: rows=30 worlds=0 support=2 cost=60\n"
         "  paper: Figure 5\n"
     ),
 }

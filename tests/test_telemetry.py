@@ -390,3 +390,180 @@ class TestExport:
             engine.answer(w.query(AggregateOp.SUM), "by-tuple", "range")
             text = export.render_prometheus(engine.context.metrics)
         assert "repro_parallel_shard_folds_total 2" in text
+
+
+# -- Prometheus 0.0.4 exposition grammar ---------------------------------
+
+import math  # noqa: E402
+import re  # noqa: E402
+import socket  # noqa: E402
+
+from repro.exceptions import MetricsExportError  # noqa: E402
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$"
+)
+#: One label pair; the value alternation admits only the three escapes
+#: the exposition format defines (backslash, double-quote, newline).
+_LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:\\[\\"n]|[^"\\\n])*)"'
+)
+_SAMPLE_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_exposition(text):
+    """A strict stdlib parser for the Prometheus 0.0.4 text format.
+
+    Returns ``{family name: {"type": ..., "help": ..., "samples":
+    [(name, labels, value), ...]}}``, raising ``AssertionError`` with
+    the offending line on any grammar violation: missing or reordered
+    ``# HELP``/``# TYPE`` headers, duplicate families, malformed sample
+    lines or label escaping, unparseable values, samples that do not
+    belong to the family being emitted, or counters without the
+    conventional ``_total`` suffix.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families: dict[str, dict] = {}
+    current: str | None = None
+    for line in text.splitlines():
+        assert line == line.strip(), f"stray whitespace: {line!r}"
+        if line.startswith("# HELP "):
+            name, _, docstring = line[len("# HELP "):].partition(" ")
+            assert _METRIC_NAME.match(name), f"bad family name: {line!r}"
+            assert name not in families, f"duplicate family: {name}"
+            assert docstring, f"HELP without docstring: {line!r}"
+            families[name] = {"type": None, "help": docstring, "samples": []}
+            current = name
+        elif line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            assert name == current, f"TYPE not preceded by its HELP: {line!r}"
+            family = families[name]
+            assert family["type"] is None, f"duplicate TYPE: {line!r}"
+            assert not family["samples"], f"TYPE after samples: {line!r}"
+            assert kind in _SAMPLE_TYPES, f"unknown type: {line!r}"
+            family["type"] = kind
+            if kind == "counter":
+                assert name.endswith("_total"), (
+                    f"counter without _total suffix: {name}"
+                )
+        elif line.startswith("#"):
+            continue  # bare comments are legal anywhere
+        else:
+            match = _SAMPLE_LINE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            name, labels_text, value_text = match.groups()
+            assert current is not None, f"sample before any family: {line!r}"
+            family = families[current]
+            assert family["type"] is not None, f"sample before TYPE: {line!r}"
+            if family["type"] == "summary":
+                allowed = (current, current + "_sum", current + "_count")
+                assert name in allowed, (
+                    f"summary sample {name!r} outside family {current!r}"
+                )
+            else:
+                assert name == current, (
+                    f"sample {name!r} outside family {current!r}"
+                )
+            labels = {}
+            if labels_text is not None:
+                matched = _LABEL_PAIR.findall(labels_text)
+                rebuilt = ",".join(
+                    f'{key}="{value}"' for key, value in matched
+                )
+                assert rebuilt == labels_text.rstrip(","), (
+                    f"malformed or unescaped labels: {line!r}"
+                )
+                labels = dict(matched)
+            try:
+                value = float(value_text)
+            except ValueError as error:
+                raise AssertionError(
+                    f"unparseable value: {line!r}"
+                ) from error
+            family["samples"].append((name, labels, value))
+    for name, family in families.items():
+        assert family["type"] is not None, f"family without TYPE: {name}"
+        assert family["samples"], f"family without samples: {name}"
+    return families
+
+
+class TestExpositionGrammar:
+    def test_parser_rejects_violations(self):
+        parse_exposition(
+            "# HELP m_total doc\n# TYPE m_total counter\nm_total 1\n"
+        )
+        bad = [
+            "m_total 1\n",  # sample with no family
+            "# HELP m_total doc\nm_total 1\n",  # no TYPE
+            "# HELP m doc\n# TYPE m counter\nm 1\n",  # counter w/o _total
+            "# HELP m doc\n# TYPE m gauge\nother 1\n",  # foreign sample
+            "# HELP m doc\n# TYPE m gauge\nm 1",  # no trailing newline
+            "# HELP m doc\n# TYPE m gauge\nm x\n",  # bad value
+            '# HELP m doc\n# TYPE m gauge\nm{l="a\nb"} 1\n',  # raw newline
+            "# HELP m doc\n# TYPE m bogus\nm 1\n",  # unknown type
+        ]
+        for text in bad:
+            with pytest.raises(AssertionError):
+                parse_exposition(text)
+
+    def test_escaped_label_values_accepted(self):
+        families = parse_exposition(
+            '# HELP m doc\n# TYPE m gauge\nm{l="a\\"b\\\\c\\nd"} 2.0\n'
+        )
+        ((_, labels, value),) = families["m"]["samples"]
+        assert labels == {"l": 'a\\"b\\\\c\\nd'}
+        assert value == 2.0
+
+    def test_real_workload_exposition_is_grammatical(self, workload):
+        """A full engine run — parallel, sampling, calibration, budget
+        preemption — must export a grammatical exposition carrying the
+        planner's decision counters and misestimation histograms."""
+        w = workload
+        engine = AggregationEngine(
+            w.table, w.pmapping, max_workers=2, min_rows_per_shard=500,
+            parallel_executor="thread", allow_sampling=True, samples=20,
+            calibrate=True,
+        )
+        with engine:
+            engine.answer(w.query(AggregateOp.SUM), "by-tuple", "range")
+            engine.answer(w.query(AggregateOp.COUNT), "by-tuple", "range")
+            engine.answer(
+                w.query(AggregateOp.SUM), "by-tuple", "distribution"
+            )
+            text = export.render_prometheus(engine.context.metrics)
+        families = parse_exposition(text)
+        for name, family in families.items():
+            assert name.startswith("repro_")
+            for _, _, value in family["samples"]:
+                assert not math.isinf(value), f"infinite sample in {name}"
+        counters = {
+            name for name, family in families.items()
+            if family["type"] == "counter"
+        }
+        assert "repro_planner_decision_parallel_total" in counters
+        assert "repro_planner_decision_sampling_total" in counters
+        assert "repro_planner_executed_parallel_total" in counters
+        summaries = {
+            name for name, family in families.items()
+            if family["type"] == "summary"
+        }
+        assert "repro_planner_misestimate_rows" in summaries
+        assert "repro_planner_misestimate_cost" in summaries
+        rows = families["repro_planner_misestimate_rows"]["samples"]
+        quantiles = [s for s in rows if s[1].get("quantile")]
+        assert quantiles, "populated histogram must emit quantile samples"
+
+    def test_server_bind_failure_is_typed(self):
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            with pytest.raises(MetricsExportError) as excinfo:
+                MetricsServer(MetricsRegistry(), port=port)
+            assert excinfo.value.host == "127.0.0.1"
+            assert excinfo.value.port == port
+            assert "cannot bind metrics endpoint" in str(excinfo.value)
+        finally:
+            blocker.close()
