@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""CI hygiene check: no stale bytecode artifacts under ``src/``.
+
+Fails (exit 1) when either of two rot patterns is present:
+
+1. a ``__pycache__`` directory or ``.pyc`` file is *tracked by git*
+   anywhere in the repository — compiled bytecode never belongs in
+   history (a PR once shipped a stale ``src/repro/serve/__pycache__``
+   with no matching source, which is exactly the class of artifact this
+   gate keeps out);
+2. an *orphaned* ``.pyc`` exists on disk under ``src/`` — bytecode whose
+   source ``.py`` no longer exists.  Orphans shadow nothing in normal
+   runs but can mask refactors (``import`` may still succeed from the
+   stale bytecode in some layouts) and always indicate a sloppy rename.
+
+Freshly generated ``__pycache__`` directories with live sources are fine
+— CI test runs create them — so only *tracked* or *orphaned* bytecode
+fails the check.
+
+Run from the repository root::
+
+    python scripts/check_pycache.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def tracked_bytecode() -> list[str]:
+    """Git-tracked ``.pyc`` files or ``__pycache__`` entries, repo-wide."""
+    out = subprocess.run(
+        ["git", "ls-files"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    offenders = []
+    for line in out.splitlines():
+        if line.endswith(".pyc") or "__pycache__" in line.split("/"):
+            offenders.append(line)
+    return sorted(offenders)
+
+
+def orphaned_pyc(root: Path) -> list[str]:
+    """On-disk ``.pyc`` files under ``root`` with no live source module."""
+    offenders = []
+    for pyc in root.rglob("*.pyc"):
+        if pyc.parent.name == "__pycache__":
+            # __pycache__/name.cpython-312.pyc -> ../name.py
+            stem = pyc.name.split(".")[0]
+            source = pyc.parent.parent / f"{stem}.py"
+        else:
+            # Legacy layout: name.pyc next to name.py.
+            source = pyc.with_suffix(".py")
+        if not source.exists():
+            offenders.append(str(pyc.relative_to(ROOT)))
+    return sorted(offenders)
+
+
+def main() -> int:
+    failed = False
+    tracked = tracked_bytecode()
+    if tracked:
+        failed = True
+        print("git-tracked bytecode (remove from history):", file=sys.stderr)
+        for path in tracked:
+            print(f"  {path}", file=sys.stderr)
+    orphans = orphaned_pyc(ROOT / "src")
+    if orphans:
+        failed = True
+        print(
+            "orphaned .pyc under src/ (no matching .py source):",
+            file=sys.stderr,
+        )
+        for path in orphans:
+            print(f"  {path}", file=sys.stderr)
+    if failed:
+        return 1
+    print("check_pycache: OK (no tracked or orphaned bytecode)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

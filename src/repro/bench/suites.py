@@ -26,6 +26,9 @@ obs-overhead    telemetry on vs off: the same prepared answer loop with
                 exporter primitives (baseline: ``BENCH_obs_overhead.json``)
 ablations       expected-COUNT methods and the MAX-distribution
                 extension (bench_ablation_*)
+serve           query-service wire latency and flood throughput at 1x
+                and 2x offered load (bench_serve; baseline:
+                ``BENCH_serve.json``)
 ==============  =========================================================
 
 Importing this module registers every suite; the harness does so lazily
@@ -686,3 +689,87 @@ def _obs_export():
             histogram.observe(float(value))
 
     return lambda: export.render_prometheus(registry)
+
+
+# -- serve: the query service over real sockets ------------------------------
+
+serve = register_suite(Suite(
+    "serve",
+    "query service latency and saturation throughput (1x and 2x offered "
+    "load; baseline: BENCH_serve.json)",
+))
+
+
+def _serve_fixture(*, max_concurrency=4, queue_depth=8):
+    """A running service on an ephemeral port + its teardown."""
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve import DatasetRegistry, ServeConfig, ServiceThread
+
+    registry = DatasetRegistry()
+    registry.add_synthetic(
+        "bench", tuples=1000, attributes=6, mappings=5, seed=11
+    )
+    service = ServiceThread(
+        registry,
+        config=ServeConfig(
+            port=0,
+            max_concurrency=max_concurrency,
+            queue_depth=queue_depth,
+        ),
+        metrics_registry=MetricsRegistry(),
+    ).start()
+    return service, service.stop
+
+
+#: The serve bench workload: the sampling lane at a fixed sample count,
+#: ~10 ms per request — slow enough to saturate, fast enough for CI.
+_SERVE_REQUEST = {
+    "dataset": "bench",
+    "query": "SELECT SUM(a1) FROM T WHERE a1 < 800",
+    "mapping_semantics": "by-tuple",
+    "aggregate_semantics": "distribution",
+    "samples": 60,
+    "seed": 3,
+}
+
+
+@serve.case("roundtrip.single", repeats=30, warmup=5)
+def _serve_roundtrip():
+    from repro.serve import ServeClient
+
+    service, close = _serve_fixture()
+    client = ServeClient(port=service.port)
+
+    def teardown():
+        client.close()
+        close()
+
+    return (
+        lambda: client.query(**_SERVE_REQUEST).answer
+    ), teardown
+
+
+def _serve_flood_case(offered_multiple):
+    def factory():
+        from repro.serve import LoadGenerator
+
+        service, close = _serve_fixture(max_concurrency=4, queue_depth=4)
+        # Saturation counts executing slots plus the bounded queue: at
+        # 1x every arrival is admitted, at 2x the excess sheds.
+        concurrency = (4 + 4) * offered_multiple
+
+        def run():
+            flood = LoadGenerator(
+                "127.0.0.1", service.port, _SERVE_REQUEST,
+                concurrency=concurrency, requests_per_worker=4,
+            ).run()
+            assert flood.transport_errors == 0
+            assert flood.admitted > 0
+
+        return run, close
+
+    return factory
+
+
+serve.case("flood.1x", repeats=3, warmup=1)(_serve_flood_case(1))
+serve.case("flood.2x.saturated", repeats=3, warmup=1)(_serve_flood_case(2))

@@ -54,7 +54,18 @@ Errors never print a traceback: they emit one ``error: ...`` line on
 stderr and exit with a code naming the failure class — 2 generic/usage,
 3 SQL syntax, 4 unsupported query, 5 schema, 6 mapping, 7 reformulation,
 8 storage, 9 intractable, 10 deadline, 11 budget, 12 other guardrail,
-13 evaluation, 14 metrics export (see :data:`EXIT_CODES`).
+13 evaluation, 14 metrics export, 15 service startup (bind failure),
+16 other serving errors (see :data:`EXIT_CODES`).
+
+Finally, ``serve`` runs the asyncio multi-tenant query service of
+:mod:`repro.serve` (see ``docs/serving.md``)::
+
+    repro-bench serve --port 8080 --max-concurrency 8 --queue-depth 16 \\
+        --synthetic demo:500:8:5 --tenant gold:timeout_ms=500,max_worlds=1e6
+
+It serves ``POST /query`` plus ``/healthz``, ``/readyz``, ``/metrics``
+and ``/datasets``, sheds overload with typed 429/503 JSON errors, and
+drains gracefully on SIGTERM.
 """
 
 from __future__ import annotations
@@ -66,32 +77,13 @@ from repro import exceptions
 from repro.bench import experiments
 from repro.obs.timers import Stopwatch
 
-#: Exit codes, most specific class first so ``isinstance`` walks resolve
-#: subclasses before their bases (EngineClosedError lands on StorageError's
-#: code, QueryTimeoutError beats GuardrailError).  Code 1 is reserved for
-#: shape-check failures, 2 for usage errors and errors outside this table.
-EXIT_CODES: tuple[tuple[type, int], ...] = (
-    (exceptions.QueryTimeoutError, 10),
-    (exceptions.BudgetExceededError, 11),
-    (exceptions.GuardrailError, 12),
-    (exceptions.IntractableError, 9),
-    (exceptions.SQLSyntaxError, 3),
-    (exceptions.UnsupportedQueryError, 4),
-    (exceptions.SchemaError, 5),
-    (exceptions.MappingError, 6),
-    (exceptions.ReformulationError, 7),
-    (exceptions.StorageError, 8),
-    (exceptions.MetricsExportError, 14),
-    (exceptions.EvaluationError, 13),
-)
+#: Exit codes per error class (the shared table in
+#: :data:`repro.exceptions.ERROR_EXIT_CODES`, re-exported here for
+#: backwards compatibility).  Code 1 is reserved for shape-check
+#: failures, 2 for usage errors and errors outside this table.
+EXIT_CODES: tuple[tuple[type, int], ...] = exceptions.ERROR_EXIT_CODES
 
-
-def _exit_code(error: BaseException) -> int:
-    """The exit code for ``error`` (most specific entry in EXIT_CODES)."""
-    for cls, code in EXIT_CODES:
-        if isinstance(error, cls):
-            return code
-    return 2
+_exit_code = exceptions.exit_code_for
 
 
 def _fail(error: BaseException) -> int:
@@ -220,6 +212,120 @@ def _run_streamed_query(args: argparse.Namespace) -> int:
     except (ReproError, OSError) as error:
         return _fail(error)
     print(answer)
+    return 0
+
+
+def _parse_tenant_spec(spec: str):
+    """``NAME:key=value,...`` -> TenantPolicy (keys: timeout_ms,
+    max_rows, max_worlds, max_support, samples)."""
+    from repro.core.guard import Budget
+    from repro.serve.registry import TenantPolicy
+
+    name, _, rest = spec.partition(":")
+    if not name:
+        raise ValueError(f"tenant spec {spec!r} has no name")
+    limits: dict = {}
+    samples = None
+    if rest:
+        for pair in rest.split(","):
+            key, separator, value = pair.partition("=")
+            key = key.strip()
+            if not separator:
+                raise ValueError(
+                    f"tenant spec {spec!r}: expected key=value, got {pair!r}"
+                )
+            if key == "samples":
+                samples = int(value)
+            elif key in ("timeout_ms", "max_rows", "max_worlds", "max_support"):
+                limits[key] = float(value)
+            else:
+                raise ValueError(
+                    f"tenant spec {spec!r}: unknown key {key!r} (choices: "
+                    "timeout_ms, max_rows, max_worlds, max_support, samples)"
+                )
+    budget = Budget(**limits) if limits else None
+    return TenantPolicy(name, budget=budget, samples=samples)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: the asyncio multi-tenant query service.
+
+    Datasets come from repeatable ``--dataset NAME=DATA.csv:MAPPING.json``
+    and/or ``--synthetic NAME[:TUPLES[:ATTRS[:MAPPINGS]]]`` flags (a
+    default synthetic ``demo`` dataset when neither is given, so
+    ``repro-bench serve`` alone yields a queryable endpoint).  Runs until
+    SIGTERM/SIGINT, then drains gracefully and prints the drain report.
+    Exit 15 when the socket cannot be bound.
+    """
+    import asyncio
+    import json as _json
+
+    from repro.exceptions import ReproError
+    from repro.serve import DatasetRegistry, QueryService, ServeConfig
+
+    registry = DatasetRegistry()
+    try:
+        for spec in args.dataset:
+            name, separator, paths = spec.partition("=")
+            data_path, path_separator, mapping_path = paths.partition(":")
+            if not separator or not path_separator or not name:
+                print(
+                    f"error: bad --dataset {spec!r}; expected "
+                    "NAME=DATA.csv:MAPPING.json",
+                    file=sys.stderr,
+                )
+                return 2
+            registry.load_csv(name, data_path, mapping_path)
+        for spec in args.synthetic:
+            parts = spec.split(":")
+            name = parts[0]
+            numbers = [int(part) for part in parts[1:4]]
+            registry.add_synthetic(
+                name,
+                tuples=numbers[0] if len(numbers) > 0 else 500,
+                attributes=numbers[1] if len(numbers) > 1 else 8,
+                mappings=numbers[2] if len(numbers) > 2 else 5,
+                seed=args.seed,
+            )
+        if len(registry) == 0:
+            registry.add_synthetic("demo", seed=args.seed)
+        for spec in args.tenant:
+            registry.set_tenant(_parse_tenant_spec(spec))
+    except (ValueError, OSError) as error:
+        registry.close()
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        registry.close()
+        return _fail(error)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        queue_depth=args.queue_depth,
+        queue_timeout_ms=args.queue_timeout_ms,
+        default_timeout_ms=args.default_timeout_ms,
+        drain_timeout_ms=args.drain_timeout_ms,
+    )
+    service = QueryService(registry, config=config)
+
+    async def _serve() -> dict:
+        await service.start()
+        service.install_signal_handlers()
+        print(
+            f"serving {', '.join(registry.names())} on {service.url} "
+            "(SIGTERM drains gracefully)",
+            flush=True,
+        )
+        return await service.serve_forever()
+
+    try:
+        report = asyncio.run(_serve())
+    except ReproError as error:
+        registry.close()
+        return _fail(error)
+    print(f"drained: {_json.dumps(report, sort_keys=True)}")
     return 0
 
 
@@ -1129,6 +1235,52 @@ def main(argv: list[str] | None = None) -> int:
         "--known", action="append", default=[], metavar="SRC=TGT",
         help="pin a correspondence (repeatable), e.g. --known ID=propertyID",
     )
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the asyncio multi-tenant query service"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 picks an ephemeral one; default 8080)",
+    )
+    serve_parser.add_argument(
+        "--max-concurrency", type=int, default=8,
+        help="queries executing at once (default 8)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="queries allowed to wait for a slot before shedding (default 16)",
+    )
+    serve_parser.add_argument(
+        "--queue-timeout-ms", type=float, default=None,
+        help="longest a query may queue before shedding (default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--default-timeout-ms", type=float, default=None,
+        help="per-query deadline when the request carries none",
+    )
+    serve_parser.add_argument(
+        "--drain-timeout-ms", type=float, default=10000.0,
+        help="SIGTERM drain deadline for in-flight queries (default 10000)",
+    )
+    serve_parser.add_argument(
+        "--dataset", action="append", default=[],
+        metavar="NAME=DATA.csv:MAPPING.json",
+        help="serve a CSV + JSON p-mapping dataset (repeatable)",
+    )
+    serve_parser.add_argument(
+        "--synthetic", action="append", default=[],
+        metavar="NAME[:TUPLES[:ATTRS[:MAPPINGS]]]",
+        help="serve a synthetic dataset (repeatable; default 'demo' when "
+        "no dataset flags are given)",
+    )
+    serve_parser.add_argument(
+        "--tenant", action="append", default=[],
+        metavar="NAME:key=value,...",
+        help="standing tenant budget (keys: timeout_ms, max_rows, "
+        "max_worlds, max_support, samples); repeatable",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0)
     all_parser = subparsers.add_parser("all", help="every experiment in order")
     all_parser.add_argument("--full", action="store_true")
     all_parser.add_argument("--seed", type=int, default=0)
@@ -1148,6 +1300,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_feedback(args)
     if args.command == "match":
         return _run_match(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "table3":
         passed = experiments.table3()
     elif args.command == "ablations":

@@ -121,10 +121,12 @@ class ExecutionContext:
         self.max_sequences = max_sequences
         self.budget = budget
         self.degrade = degrade
-        #: The most recent degradation event (``{"from", "to", "reason",
-        #: ...}``), consumed by EXPLAIN ANALYZE; ``None`` until a guard
-        #: breach successfully degraded.
-        self.last_degradation: dict | None = None
+        #: Thread-local home of ``last_degradation``/``last_stats``: the
+        #: serving tier answers one context from many worker threads
+        #: concurrently, and per-request telemetry must not race across
+        #: requests.  Same-thread semantics (answer, then read) are
+        #: unchanged.
+        self._thread_state = threading.local()
         #: Build-once columnar snapshots keyed by source-relation name,
         #: shared by the vectorized lane, the array-backed prepared
         #: queries, and the parallel lane's column-slice shards.  Dropped
@@ -161,9 +163,6 @@ class ExecutionContext:
             self.feedback.load(feedback_path)
         #: The context's cost model — calibrated when feedback is on.
         self.cost_model = costmod.CostModel(self.feedback)
-        #: The estimate/actual/misestimation block of the most recent
-        #: outermost execution, consumed by EXPLAIN ANALYZE.
-        self.last_stats: dict | None = None
         self.parallel_executor = parallel_executor
         self._pool = None
         self.closed = False
@@ -180,6 +179,31 @@ class ExecutionContext:
             tuple[str, MappingSemantics, AggregateSemantics], ExecutionPlan
         ] = OrderedDict()
         self._prepared: OrderedDict[str, PreparedQuery] = OrderedDict()
+
+    # -- per-request telemetry (thread-local) ------------------------------
+
+    @property
+    def last_degradation(self) -> dict | None:
+        """The calling thread's most recent degradation event
+        (``{"from", "to", "reason", ...}``), consumed by EXPLAIN ANALYZE;
+        ``None`` until a guard breach successfully degraded.  Thread-local
+        so concurrent requests on one engine never see each other's."""
+        return getattr(self._thread_state, "degradation", None)
+
+    @last_degradation.setter
+    def last_degradation(self, value: dict | None) -> None:
+        self._thread_state.degradation = value
+
+    @property
+    def last_stats(self) -> dict | None:
+        """The estimate/actual/misestimation block of the calling thread's
+        most recent outermost execution (thread-local, like
+        :attr:`last_degradation`)."""
+        return getattr(self._thread_state, "stats", None)
+
+    @last_stats.setter
+    def last_stats(self, value: dict | None) -> None:
+        self._thread_state.stats = value
 
     # -- lifecycle ---------------------------------------------------------
 

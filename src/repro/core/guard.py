@@ -97,6 +97,36 @@ class Budget:
             max_support=self.max_support,
         )
 
+    def tightened(
+        self,
+        *,
+        timeout_ms: float | None = None,
+        max_rows: int | None = None,
+        max_worlds: int | None = None,
+        max_support: int | None = None,
+    ) -> "Budget":
+        """A budget no looser than this one on any dimension.
+
+        Each given limit is combined with the existing one by ``min``;
+        omitted limits keep their current values.  The serving tier uses
+        this to ride a per-request deadline on top of a tenant's standing
+        resource budget without ever *loosening* the tenant policy.
+        """
+
+        def merge(mine, theirs):
+            if mine is None:
+                return theirs
+            if theirs is None:
+                return mine
+            return min(mine, theirs)
+
+        return Budget(
+            timeout_ms=merge(self.timeout_ms, timeout_ms),
+            max_rows=merge(self.max_rows, max_rows),
+            max_worlds=merge(self.max_worlds, max_worlds),
+            max_support=merge(self.max_support, max_support),
+        )
+
     def to_dict(self) -> dict:
         """A JSON-ready description (``None`` entries omitted)."""
         out = {}
@@ -109,6 +139,35 @@ class Budget:
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.to_dict().items())
         return f"Budget({parts or 'unlimited'})"
+
+
+def combine(*budgets: "Budget | None") -> "Budget | None":
+    """The tightest budget across ``budgets`` (``None`` entries ignored).
+
+    Each dimension takes the minimum of the defined values; a dimension
+    no budget bounds stays unlimited.  Returns ``None`` when every input
+    is ``None`` or unlimited — callers can pass the result straight to
+    :func:`guarded` / ``plan.answer(budget=...)``.
+    """
+    merged: Budget | None = None
+    for budget in budgets:
+        if budget is None or budget.unlimited:
+            continue
+        if merged is None:
+            merged = Budget(
+                timeout_ms=budget.timeout_ms,
+                max_rows=budget.max_rows,
+                max_worlds=budget.max_worlds,
+                max_support=budget.max_support,
+            )
+        else:
+            merged = merged.tightened(
+                timeout_ms=budget.timeout_ms,
+                max_rows=budget.max_rows,
+                max_worlds=budget.max_worlds,
+                max_support=budget.max_support,
+            )
+    return merged
 
 
 class Deadline:

@@ -112,6 +112,120 @@ class MetricsExportError(ObservabilityError):
         self.port = port
 
 
+class ServeError(ReproError):
+    """A failure in the query service tier (:mod:`repro.serve`).
+
+    Never raised from the library's embedded answer pipeline — only from
+    the HTTP/JSON service wrapped around it: startup, admission control,
+    request protocol, and drain.
+    """
+
+
+class ServiceStartupError(ServeError):
+    """The query service could not bind or start its listening socket.
+
+    The serving analogue of :class:`MetricsExportError`: typically the
+    requested ``host:port`` is already in use or not bindable;
+    ``host``/``port`` carry the attempted address.  ``repro-bench serve``
+    maps it to its own exit code (15).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.host = host
+        self.port = port
+
+
+class ProtocolError(ServeError):
+    """A malformed service request (bad HTTP framing, JSON, or fields).
+
+    The service answers it with a 400-style typed JSON error rather than
+    executing anything.
+    """
+
+
+class UnknownDatasetError(ServeError):
+    """The request named a dataset the registry does not hold.
+
+    ``dataset`` carries the requested name, ``known`` the registered
+    ones, so the 404 response can say what *would* work.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        dataset: str | None = None,
+        known: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.dataset = dataset
+        self.known = tuple(known)
+
+
+class ServiceOverloadedError(ServeError):
+    """Admission control shed the request: the accept queue is full.
+
+    The 429-style response: the service is up but saturated, and queueing
+    further would only grow latency unboundedly.  ``in_flight`` /
+    ``waiting`` / ``queue_depth`` snapshot the controller at shed time;
+    ``retry_after_ms`` is a backoff hint for well-behaved clients.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        in_flight: int | None = None,
+        waiting: int | None = None,
+        queue_depth: int | None = None,
+        retry_after_ms: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.in_flight = in_flight
+        self.waiting = waiting
+        self.queue_depth = queue_depth
+        self.retry_after_ms = retry_after_ms
+
+
+class ServiceDrainingError(ServeError):
+    """The service is draining (shutdown requested) and admits no new work.
+
+    The 503-style response: in-flight requests finish under the drain
+    deadline, new ones should go to another replica.
+    """
+
+
+class AdmissionRejectedError(ServeError):
+    """Admission control rejected a predictably-over-budget query.
+
+    The plan-time cost estimate (:mod:`repro.core.cost`) already exceeds
+    the tenant's budget on a dimension degradation cannot save, so the
+    service refuses up front instead of burning the budget to learn the
+    same thing.  ``resource`` names the dimension, ``estimate`` the
+    plan-time prediction, ``limit`` the budget cap.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str | None = None,
+        estimate: float | None = None,
+        limit: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.estimate = estimate
+        self.limit = limit
+
+
 def _rebuild_guardrail_error(cls, args, state):
     error = cls(*args)
     error.__dict__.update(state)
@@ -178,3 +292,37 @@ class BudgetExceededError(GuardrailError):
         self.resource = resource
         self.limit = limit
         self.used = used
+
+
+#: Process exit codes per error class, most specific class first so
+#: ``isinstance`` walks resolve subclasses before their bases
+#: (EngineClosedError lands on StorageError's code, QueryTimeoutError
+#: beats GuardrailError).  Shared by the CLI (its exit codes) and the
+#: query service (the ``code`` field of typed JSON error responses), so
+#: both surfaces name failure classes identically.  Code 1 is reserved
+#: for shape-check failures, 2 for usage errors and errors outside this
+#: table.
+ERROR_EXIT_CODES: tuple[tuple[type, int], ...] = (
+    (QueryTimeoutError, 10),
+    (BudgetExceededError, 11),
+    (GuardrailError, 12),
+    (IntractableError, 9),
+    (SQLSyntaxError, 3),
+    (UnsupportedQueryError, 4),
+    (SchemaError, 5),
+    (MappingError, 6),
+    (ReformulationError, 7),
+    (StorageError, 8),
+    (MetricsExportError, 14),
+    (ServiceStartupError, 15),
+    (ServeError, 16),
+    (EvaluationError, 13),
+)
+
+
+def exit_code_for(error: BaseException) -> int:
+    """The exit code for ``error`` (most specific ERROR_EXIT_CODES entry)."""
+    for cls, code in ERROR_EXIT_CODES:
+        if isinstance(error, cls):
+            return code
+    return 2

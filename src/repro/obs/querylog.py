@@ -38,6 +38,21 @@ from pathlib import Path
 #: Default ring-buffer capacity (engine kwarg ``query_log_capacity``).
 DEFAULT_CAPACITY = 256
 
+#: Record statuses.  The engine's outermost execution frame writes the
+#: first three; the serving tier (:mod:`repro.serve`) additionally
+#: records admission-control rejections as ``shed`` — a request that
+#: never executed, with ``lane`` set to ``"admission"`` and ``error``
+#: naming the shed class — so one log stream accounts for admitted and
+#: rejected work alike.
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_ERROR = "error"
+STATUS_SHED = "shed"
+
+#: The ``lane`` value of records that never reached an execution lane
+#: (admission-control sheds and cost-based rejections).
+ADMISSION_LANE = "admission"
+
 
 def query_digest(text: str) -> str:
     """A short stable digest of the canonical query text.
@@ -63,7 +78,8 @@ class QueryRecord:
     lane:
         The planner-chosen execution lane.
     status:
-        ``"ok"`` | ``"degraded"`` | ``"error"``.
+        ``"ok"`` | ``"degraded"`` | ``"error"`` | ``"shed"`` (the last
+        written only by the serving tier's admission controller).
     degraded:
         The degradation event dict (``from``/``to``/``reason``/
         ``progress``, plus ``samples``/``epsilon`` for a sampling rerun),

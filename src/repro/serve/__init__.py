@@ -1,0 +1,46 @@
+"""The asyncio multi-tenant query service (HTTP/JSON, stdlib only).
+
+This package turns the embedded :class:`~repro.core.engine.AggregationEngine`
+into a *service contract*: persistent per-dataset engines behind a
+:class:`~repro.serve.registry.DatasetRegistry` (the prepared-plan and
+columnar caches amortize across requests), an
+:class:`~repro.serve.admission.AdmissionController` that sheds load with
+typed 429/503-style JSON rejections instead of queueing unboundedly,
+per-tenant :class:`~repro.core.guard.Budget` policies riding the existing
+guardrail/degradation machinery, and graceful drain on SIGTERM — stop
+accepting, finish in-flight work under a drain deadline, flush the query
+log and feedback stores.
+
+Layers (socket to kernel):
+
+* :mod:`repro.serve.protocol` — HTTP/1.1 framing, the request/response
+  JSON schema, answer (de)serialization, typed error mapping;
+* :mod:`repro.serve.admission` — semaphore-bounded concurrency with a
+  bounded accept queue and drain awareness;
+* :mod:`repro.serve.registry` — named datasets to persistent engines,
+  plus tenant policies;
+* :mod:`repro.serve.service` — the asyncio server, request routing,
+  per-request telemetry, and drain orchestration;
+* :mod:`repro.serve.client` — a blocking client and a threaded load
+  generator for tests, benches, and smoke checks.
+
+See ``docs/serving.md`` for the endpoint contract and the operational
+runbook.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.client import LoadGenerator, ServeClient, ServeResponse
+from repro.serve.registry import DatasetRegistry, TenantPolicy
+from repro.serve.service import QueryService, ServeConfig, ServiceThread
+
+__all__ = [
+    "AdmissionController",
+    "DatasetRegistry",
+    "LoadGenerator",
+    "QueryService",
+    "ServeClient",
+    "ServeConfig",
+    "ServeResponse",
+    "ServiceThread",
+    "TenantPolicy",
+]

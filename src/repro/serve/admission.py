@@ -1,0 +1,200 @@
+"""Admission control: bounded concurrency, a bounded queue, load shedding.
+
+The controller enforces the serving tier's central robustness invariant:
+**work either runs promptly or is rejected promptly**.  At most
+``max_concurrency`` requests execute at once; at most ``queue_depth``
+more may wait for a slot (optionally bounded in *time* by
+``queue_timeout_ms``); anything beyond that is shed immediately with a
+typed :class:`~repro.exceptions.ServiceOverloadedError` — a 429 on the
+wire — instead of joining an unbounded queue whose latency grows without
+limit.  Once :meth:`begin_drain` is called, every new request is shed
+with :class:`~repro.exceptions.ServiceDrainingError` (a 503) and
+:meth:`wait_idle` lets the drain sequence await the in-flight tail.
+
+All state lives on one event loop, so plain integers are race-free; the
+controller publishes them as ``serve.*`` gauges/counters on the metrics
+registry for the Prometheus endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+from repro.exceptions import ServiceDrainingError, ServiceOverloadedError
+from repro.obs import metrics
+from repro.obs.timers import Stopwatch
+
+
+class AdmissionController:
+    """Semaphore-bounded concurrency with a bounded, sheddable queue.
+
+    Parameters
+    ----------
+    max_concurrency:
+        Requests executing at once (the semaphore's size).
+    queue_depth:
+        Requests allowed to *wait* for a slot beyond the executing ones;
+        ``0`` sheds the instant the service is saturated.
+    queue_timeout_ms:
+        Longest a request may wait in the queue before being shed anyway
+        (``None`` waits until a slot frees — the queue is still bounded
+        in depth).
+    registry:
+        Metrics registry for the ``serve.*`` series (the process-wide
+        default registry when omitted).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_concurrency: int = 8,
+        queue_depth: int = 16,
+        queue_timeout_ms: float | None = None,
+        registry: metrics.MetricsRegistry | None = None,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(
+                f"max_concurrency must be >= 1, got {max_concurrency}"
+            )
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        self.max_concurrency = max_concurrency
+        self.queue_depth = queue_depth
+        self.queue_timeout_ms = queue_timeout_ms
+        self.metrics = registry if registry is not None else metrics.get_registry()
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self._in_flight = 0
+        self._waiting = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._in_flight
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        return self._waiting
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`begin_drain` was called."""
+        return self._draining
+
+    def snapshot(self) -> dict:
+        """The controller's counters, for readyz/error payloads."""
+        return {
+            "in_flight": self._in_flight,
+            "waiting": self._waiting,
+            "max_concurrency": self.max_concurrency,
+            "queue_depth": self.queue_depth,
+            "draining": self._draining,
+        }
+
+    def _publish(self) -> None:
+        self.metrics.set_gauge("serve.in_flight", self._in_flight)
+        self.metrics.set_gauge("serve.waiting", self._waiting)
+
+    # -- admission ---------------------------------------------------------
+
+    def _shed_overloaded(self) -> ServiceOverloadedError:
+        self.metrics.inc("serve.shed.queue_full")
+        # A full queue drains one slot-duration at a time: hint clients
+        # to retry after roughly one queue's worth of current latency.
+        return ServiceOverloadedError(
+            f"service saturated: {self._in_flight} executing, "
+            f"{self._waiting} queued (queue depth {self.queue_depth})",
+            in_flight=self._in_flight,
+            waiting=self._waiting,
+            queue_depth=self.queue_depth,
+            retry_after_ms=100.0 * max(1, self._waiting),
+        )
+
+    def _shed_draining(self) -> ServiceDrainingError:
+        self.metrics.inc("serve.shed.draining")
+        return ServiceDrainingError(
+            "service is draining and admits no new queries"
+        )
+
+    @asynccontextmanager
+    async def admit(self, tenant: str = "default"):
+        """Hold an execution slot for the ``async with`` body.
+
+        Sheds (raises) instead of waiting when the service is draining,
+        the queue is full, or the queue wait exceeds
+        ``queue_timeout_ms``.  On admission, publishes the queue-wait
+        histogram and per-tenant admission counters.
+        """
+        if self._draining:
+            raise self._shed_draining()
+        if self._semaphore.locked() and self._waiting >= self.queue_depth:
+            raise self._shed_overloaded()
+        self._waiting += 1
+        self._publish()
+        watch = Stopwatch()
+        try:
+            with watch:
+                if self.queue_timeout_ms is not None:
+                    try:
+                        await asyncio.wait_for(
+                            self._semaphore.acquire(),
+                            timeout=self.queue_timeout_ms / 1000.0,
+                        )
+                    except asyncio.TimeoutError:
+                        self.metrics.inc("serve.shed.queue_timeout")
+                        raise ServiceOverloadedError(
+                            f"queued {watch.elapsed * 1e3:.0f} ms without "
+                            f"reaching an execution slot (queue timeout "
+                            f"{self.queue_timeout_ms:g} ms)",
+                            in_flight=self._in_flight,
+                            waiting=self._waiting - 1,
+                            queue_depth=self.queue_depth,
+                            retry_after_ms=self.queue_timeout_ms,
+                        )
+                else:
+                    await self._semaphore.acquire()
+        finally:
+            self._waiting -= 1
+        if self._draining:
+            # Drain began while this request was queued: it never ran,
+            # so it sheds like any other post-drain arrival.
+            self._semaphore.release()
+            self._publish()
+            raise self._shed_draining()
+        self._in_flight += 1
+        self._idle.clear()
+        self.metrics.observe("serve.queue_wait_seconds", watch.elapsed)
+        self.metrics.inc("serve.admitted")
+        self.metrics.inc(f"serve.tenant.{tenant}.admitted")
+        self._publish()
+        try:
+            yield self
+        finally:
+            self._in_flight -= 1
+            self._semaphore.release()
+            if self._in_flight == 0:
+                self._idle.set()
+            self._publish()
+
+    # -- drain -------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting; queued-but-not-started requests shed."""
+        self._draining = True
+
+    async def wait_idle(self, timeout_s: float | None = None) -> bool:
+        """Await the in-flight tail; False when ``timeout_s`` expires first."""
+        if timeout_s is None:
+            await self._idle.wait()
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False

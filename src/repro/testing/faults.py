@@ -25,6 +25,14 @@ sqlite.cursor       :class:`repro.storage.sqlite_backend.SQLiteBackend`,
                     exercises the retry-with-backoff path)
 plan.cache.evict    :class:`repro.core.execute.ExecutionContext`, when an
                     LRU cache evicts an entry
+serve.accept        :meth:`repro.serve.service.QueryService`, after a
+                    request is parsed off a connection, before routing
+serve.handler       the service's query handler, after admission and
+                    before plan/execute (``corrupt`` poisons the answer
+                    payload, which serialization detects)
+serve.drain         :meth:`repro.serve.service.QueryService.drain`, at
+                    drain start (a raise is contained: drain completes
+                    and reports the fault, it never hangs shutdown)
 ==================  =====================================================
 
 Arming
@@ -75,6 +83,9 @@ FAILPOINTS = (
     "parallel.merge",
     "sqlite.cursor",
     "plan.cache.evict",
+    "serve.accept",
+    "serve.handler",
+    "serve.drain",
 )
 
 #: Sentinel returned by :func:`maybe_fire` for a ``corrupt`` action.
